@@ -1,0 +1,261 @@
+// Package repro_bench holds the top-level benchmark harness: one benchmark
+// per table and figure of the paper (regenerating the reported rows at a
+// reduced scale) plus micro-benchmarks for the hot paths (EM iteration,
+// incremental EM, EAI assignment with and without the UEAI pruning bound).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full paper-scale experiments are driven by cmd/bench instead, where
+// wall-clock budgets are not constrained by the benchmark framework.
+package repro_bench
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/infer"
+	"repro/internal/synth"
+)
+
+// benchCfg is the reduced-scale configuration used by the per-experiment
+// benchmarks: large enough to exercise every code path, small enough for
+// -bench runs.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.05, Rounds: 4, Seed: 7, EvalEvery: 2}
+}
+
+// --- One benchmark per table / figure -----------------------------------
+
+func BenchmarkFig1SourceTendencies(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(cfg)
+	}
+}
+
+func BenchmarkTable3TruthInference(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(cfg)
+	}
+}
+
+func BenchmarkFig5SourceReliability(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(cfg)
+	}
+}
+
+func BenchmarkFig6TaskAssignmentCurves(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(cfg)
+	}
+}
+
+func BenchmarkFig7ImprovementEstimates(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(cfg)
+	}
+}
+
+func BenchmarkTable4AllCombos(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rounds = 2
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(cfg)
+	}
+}
+
+func BenchmarkFig8to10HeadlineCurves(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8to10(cfg)
+	}
+}
+
+func BenchmarkFig11WorkerQualitySweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rounds = 2
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(cfg)
+	}
+}
+
+func BenchmarkFig12ExecutionTimes(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12(cfg)
+	}
+}
+
+func BenchmarkFig13PruningScalability(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig13(cfg)
+	}
+}
+
+func BenchmarkFig14to16HumanAnnotators(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig14to16(cfg)
+	}
+}
+
+func BenchmarkFig17AMT(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig17(cfg)
+	}
+}
+
+func BenchmarkTable5MultiTruth(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(cfg)
+	}
+}
+
+func BenchmarkTable6Numeric(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(cfg)
+	}
+}
+
+// --- Micro-benchmarks: inference ----------------------------------------
+
+func birthPlacesIndex(scale float64) *data.Index {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 7, Scale: scale})
+	return data.NewIndex(ds)
+}
+
+func heritagesIndex(scale float64) *data.Index {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 7, Scale: scale})
+	return data.NewIndex(ds)
+}
+
+func BenchmarkTDHInferBirthPlaces(b *testing.B) {
+	idx := birthPlacesIndex(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(idx, core.DefaultOptions())
+	}
+}
+
+func BenchmarkTDHInferHeritages(b *testing.B) {
+	idx := heritagesIndex(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(idx, core.DefaultOptions())
+	}
+}
+
+// BenchmarkInferencers times every Table 3 algorithm on the same workload —
+// the microscopic version of Figure 12's left panel.
+func BenchmarkInferencers(b *testing.B) {
+	idx := birthPlacesIndex(0.05)
+	for _, alg := range experiments.InferencersInPaperOrder() {
+		b.Run(alg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.Infer(idx)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks: task assignment ----------------------------------
+
+func assignmentContext(b *testing.B, scale float64) *assign.Context {
+	b.Helper()
+	idx := heritagesIndex(scale)
+	res := infer.NewTDH().Infer(idx)
+	workers := synth.NewWorkerPool(synth.WorkerPoolConfig{Seed: 7, Count: 10, Pi: 0.75})
+	names := make([]string, len(workers))
+	for i, w := range workers {
+		names[i] = w.Name
+	}
+	return &assign.Context{Idx: idx, Res: res, Workers: names, K: 5, Seed: 7}
+}
+
+func BenchmarkEAIAssignWithPruning(b *testing.B) {
+	ctx := assignmentContext(b, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.EAI{}.Assign(ctx)
+	}
+}
+
+func BenchmarkEAIAssignNoPruning(b *testing.B) {
+	ctx := assignmentContext(b, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.EAI{DisablePruning: true}.Assign(ctx)
+	}
+}
+
+func BenchmarkQASCAAssign(b *testing.B) {
+	ctx := assignmentContext(b, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.QASCA{}.Assign(ctx)
+	}
+}
+
+func BenchmarkMEAssign(b *testing.B) {
+	ctx := assignmentContext(b, 0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.ME{}.Assign(ctx)
+	}
+}
+
+// BenchmarkIncrementalEM times the single-answer conditional-confidence
+// update (Eq. 18) — the inner loop of EAI.
+func BenchmarkIncrementalEM(b *testing.B) {
+	idx := heritagesIndex(0.25)
+	m := core.Run(idx, core.DefaultOptions())
+	psi := m.DefaultPsi()
+	objs := idx.Objects
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := objs[i%len(objs)]
+		m.CondMaxConfidence(o, psi, 0)
+	}
+}
+
+// BenchmarkDatasetGeneration times the synthetic substrates.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	b.Run("BirthPlaces", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth.BirthPlaces(synth.BirthPlacesConfig{Seed: int64(i), Scale: 0.1})
+		}
+	})
+	b.Run("Heritages", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth.Heritages(synth.HeritagesConfig{Seed: int64(i), Scale: 0.1})
+		}
+	})
+	b.Run("Stock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			synth.Stock(synth.StockConfig{Seed: int64(i), Symbols: 100})
+		}
+	})
+}
+
+// BenchmarkIndexBuild times the candidate-set index construction.
+func BenchmarkIndexBuild(b *testing.B) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 7, Scale: 0.25})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data.NewIndex(ds)
+	}
+}

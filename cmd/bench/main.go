@@ -1,0 +1,53 @@
+// Command bench regenerates the paper's tables and figures from the
+// synthetic workloads. Examples:
+//
+//	bench -exp table3              # one experiment at the default scale
+//	bench -exp all -scale 1.0      # full paper-scale run of everything
+//	bench -list                    # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale     = flag.Float64("scale", 0.25, "dataset scale; 1.0 = paper-sized")
+		rounds    = flag.Int("rounds", 50, "crowdsourcing rounds for loop experiments")
+		seed      = flag.Int64("seed", 7, "random seed")
+		evalEvery = flag.Int("eval-every", 5, "evaluate metrics every n rounds")
+		format    = flag.String("format", "text", "output format: text, csv, json")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	cfg := experiments.Config{
+		Scale:     *scale,
+		Rounds:    *rounds,
+		Seed:      *seed,
+		EvalEvery: *evalEvery,
+	}
+	var err error
+	if *exp == "all" {
+		for _, id := range experiments.IDs() {
+			if err = experiments.RunFormatted(os.Stdout, id, *format, cfg); err != nil {
+				break
+			}
+		}
+	} else {
+		err = experiments.RunFormatted(os.Stdout, *exp, *format, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Multiattr: joint truth discovery over several attributes (the
+// generalization Section 2.1 of the paper mentions). Two attributes —
+// birthplace and deathplace — share the same sources; fusing them lets
+// evidence about a source's reliability on one attribute sharpen the truth
+// estimates on the other.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hierarchy"
+)
+
+func buildTree(prefix string) *hierarchy.Tree {
+	h := hierarchy.New(hierarchy.Root)
+	h.MustAdd(prefix+"USA", hierarchy.Root)
+	h.MustAdd(prefix+"NY", prefix+"USA")
+	h.MustAdd(prefix+"LA", prefix+"USA")
+	h.MustAdd(prefix+"Brooklyn", prefix+"NY")
+	h.Freeze()
+	return h
+}
+
+func main() {
+	// Source "solid" is accurate on both attributes; "shaky" is wrong a
+	// lot. On the contested deathplace of "grace" the fused model should
+	// side with "solid" because of its birthplace track record.
+	birth := data.Attribute{
+		Name: "birthplace",
+		H:    buildTree("b/"),
+		Records: []data.Record{
+			{Object: "ada", Source: "solid", Value: "b/Brooklyn"},
+			{Object: "ada", Source: "ref1", Value: "b/Brooklyn"},
+			{Object: "ada", Source: "shaky", Value: "b/LA"},
+			{Object: "bob", Source: "solid", Value: "b/NY"},
+			{Object: "bob", Source: "ref2", Value: "b/NY"},
+			{Object: "bob", Source: "shaky", Value: "b/LA"},
+			{Object: "cyd", Source: "solid", Value: "b/LA"},
+			{Object: "cyd", Source: "ref1", Value: "b/LA"},
+			{Object: "cyd", Source: "shaky", Value: "b/NY"},
+		},
+		Truth: map[string]string{"ada": "b/Brooklyn", "bob": "b/NY", "cyd": "b/LA"},
+	}
+	death := data.Attribute{
+		Name: "deathplace",
+		H:    buildTree("d/"),
+		Records: []data.Record{
+			// The probe: a bare 1-1 conflict, undecidable by voting.
+			{Object: "grace", Source: "solid", Value: "d/NY"},
+			{Object: "grace", Source: "shaky", Value: "d/LA"},
+		},
+		Truth: map[string]string{"grace": "d/NY"},
+	}
+
+	fused, err := data.MergeAttributes("people", []data.Attribute{birth, death})
+	if err != nil {
+		panic(err)
+	}
+	idx := data.NewIndex(fused)
+	m := core.Run(idx, core.DefaultOptions())
+	byAttr := data.SplitTruths(m.Truths())
+
+	fmt.Println("fused truths:")
+	for attr, truths := range byAttr {
+		for o, v := range truths {
+			fmt.Printf("  %-10s %-6s -> %s\n", attr, o, v)
+		}
+	}
+	fmt.Println("\nsource trustworthiness learned across both attributes:")
+	for _, s := range idx.SourceNames {
+		phi := m.PhiOf(s)
+		fmt.Printf("  %-6s exact=%.3f generalized=%.3f wrong=%.3f\n", s, phi[0], phi[1], phi[2])
+	}
+	fmt.Println("\nthe deathplace probe (1 vs 1 claim) resolves toward the source")
+	fmt.Println("with the better cross-attribute track record — the value of fusing.")
+}

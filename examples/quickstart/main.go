@@ -1,0 +1,65 @@
+// Quickstart: the paper's running example (Table 1). Three sources claim
+// where the Statue of Liberty stands — 'NY', 'Liberty Island' and 'LA'.
+// 'Liberty Island' is inside 'NY', so the first two claims support each
+// other; TDH infers the most specific truth (Liberty Island) instead of
+// treating the three values as mutually exclusive.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hierarchy"
+)
+
+func main() {
+	// Geographic hierarchy: root -> USA/UK -> states/cities -> islands.
+	h := hierarchy.New(hierarchy.Root)
+	h.MustAdd("USA", hierarchy.Root)
+	h.MustAdd("UK", hierarchy.Root)
+	h.MustAdd("NY", "USA")
+	h.MustAdd("LA", "USA")
+	h.MustAdd("Liberty Island", "NY")
+	h.MustAdd("London", "UK")
+	h.MustAdd("Manchester", "UK")
+	h.MustAdd("Westminster", "London")
+	h.Freeze()
+
+	ds := &data.Dataset{
+		Name: "table1",
+		Records: []data.Record{
+			{Object: "Statue of Liberty", Source: "UNESCO", Value: "NY"},
+			{Object: "Statue of Liberty", Source: "Wikipedia", Value: "Liberty Island"},
+			{Object: "Statue of Liberty", Source: "Arrangy", Value: "LA"},
+			{Object: "Big Ben", Source: "Quora", Value: "Manchester"},
+			{Object: "Big Ben", Source: "tripadvisor", Value: "London"},
+			// A few more claims so source reliabilities are estimable.
+			{Object: "Empire State Building", Source: "UNESCO", Value: "NY"},
+			{Object: "Empire State Building", Source: "Wikipedia", Value: "NY"},
+			{Object: "Empire State Building", Source: "Arrangy", Value: "LA"},
+			{Object: "Westminster Abbey", Source: "Wikipedia", Value: "Westminster"},
+			{Object: "Westminster Abbey", Source: "UNESCO", Value: "London"},
+			{Object: "Westminster Abbey", Source: "Quora", Value: "Manchester"},
+		},
+		Truth: map[string]string{},
+		H:     h,
+	}
+	idx := data.NewIndex(ds)
+	model := core.Run(idx, core.DefaultOptions())
+
+	fmt.Println("Inferred truths (most specific value wins):")
+	for o, v := range model.Truths() {
+		fmt.Printf("  %-22s -> %s\n", o, v)
+	}
+	fmt.Println("\nSource trustworthiness (exact / generalized / wrong):")
+	for _, s := range idx.SourceNames {
+		phi := model.PhiOf(s)
+		fmt.Printf("  %-12s %.3f / %.3f / %.3f\n", s, phi[0], phi[1], phi[2])
+	}
+	fmt.Println("\nConfidence for the Statue of Liberty:")
+	ov := idx.View("Statue of Liberty")
+	for i, v := range ov.CI.Values {
+		fmt.Printf("  %-15s %.4f\n", v, model.Mu["Statue of Liberty"][i])
+	}
+}

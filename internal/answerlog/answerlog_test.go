@@ -1,0 +1,148 @@
+package answerlog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "answers.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []data.Answer{
+		{Object: "o1", Worker: "w1", Value: "v1"},
+		{Object: "o2", Worker: "w2", Value: "v2"},
+		{Object: "o1", Worker: "w3", Value: "v1"},
+	}
+	for _, a := range answers {
+		if err := l.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Count() != 3 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := Replay(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 3 || res.Skipped != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	for i, a := range answers {
+		if ds.Answers[i] != a {
+			t.Fatalf("answer %d mismatch", i)
+		}
+	}
+}
+
+func TestAppendValidatesAndClosedFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(data.Answer{Object: "", Worker: "w", Value: "v"}); err == nil {
+		t.Fatal("empty field must fail")
+	}
+	l.Close()
+	if err := l.Append(data.Answer{Object: "o", Worker: "w", Value: "v"}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestReplayMissingFileIsEmptyCampaign(t *testing.T) {
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := Replay(filepath.Join(t.TempDir(), "nope.jsonl"), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 0 || len(ds.Answers) != 0 {
+		t.Fatal("missing log must mean empty campaign")
+	}
+}
+
+func TestReplayTornWrite(t *testing.T) {
+	// A crash mid-append leaves a torn last line; recovery must keep the
+	// intact prefix and skip the torn tail.
+	raw := `{"object":"o1","worker":"w1","value":"v1"}
+{"object":"o2","worker":"w2","value":"v2"}
+{"object":"o3","wor`
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := ReplayFrom(strings.NewReader(raw), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 2 || res.Skipped != 1 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+func TestReplaySkipsGarbageAndEmptyLines(t *testing.T) {
+	raw := "\n\nnot json\n{\"object\":\"o\",\"worker\":\"w\",\"value\":\"v\"}\n{\"object\":\"\",\"worker\":\"w\",\"value\":\"v\"}\n"
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := ReplayFrom(strings.NewReader(raw), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 1 || res.Skipped != 2 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = l.Append(data.Answer{Object: "o", Worker: "w", Value: "v"})
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := Replay(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 20 || res.Skipped != 0 {
+		t.Fatalf("replay = %+v (interleaved writes corrupted the log)", res)
+	}
+}
+
+func TestReopenAppendsToExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	l1, _ := Open(path)
+	_ = l1.Append(data.Answer{Object: "o1", Worker: "w", Value: "v"})
+	l1.Close()
+	l2, _ := Open(path)
+	_ = l2.Append(data.Answer{Object: "o2", Worker: "w", Value: "v"})
+	l2.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(raw), "\n") != 2 {
+		t.Fatalf("log should have 2 lines:\n%s", raw)
+	}
+}

@@ -1,0 +1,119 @@
+// Package assign implements the task-assignment side of crowdsourced truth
+// discovery (Section 4): the paper's EAI algorithm with its incremental EM
+// and UEAI pruning bound, plus the compared baselines QASCA, ME
+// (max-entropy / uncertainty sampling) and MB (DOCS's assigner).
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// Context is the input of one assignment round.
+type Context struct {
+	Idx *data.Index
+	// Res is the inference result of the current round; assigners read
+	// confidences, trust values and (for EAI/MB) the model state.
+	Res *infer.Result
+	// Workers are the workers available this round.
+	Workers []string
+	// K is the number of questions per worker.
+	K int
+	// Seed drives any sampling the assigner performs (QASCA).
+	Seed int64
+}
+
+// Assigner selects, for every worker, the K objects to ask about.
+type Assigner interface {
+	Name() string
+	Assign(ctx *Context) map[string][]string
+}
+
+// entropy computes Shannon entropy of a distribution.
+func entropy(p []float64) float64 {
+	h := 0.0
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// maxOf returns the max of a non-empty slice (0 for empty).
+func maxOf(p []float64) float64 {
+	m := 0.0
+	for _, x := range p {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// workerTrustOf reads a scalar worker trust with fallback.
+func workerTrustOf(res *infer.Result, w string, def float64) float64 {
+	if t, ok := res.WorkerTrust[w]; ok {
+		return t
+	}
+	return def
+}
+
+// rankObjectsBy scores every object and returns them best-first.
+func rankObjectsBy(idx *data.Index, score func(o string) float64) []string {
+	type so struct {
+		o string
+		s float64
+	}
+	scored := make([]so, 0, len(idx.Objects))
+	for _, o := range idx.Objects {
+		scored = append(scored, so{o, score(o)})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].s != scored[j].s {
+			return scored[i].s > scored[j].s
+		}
+		return scored[i].o < scored[j].o
+	})
+	out := make([]string, len(scored))
+	for i, s := range scored {
+		out[i] = s.o
+	}
+	return out
+}
+
+// dealOut assigns ranked objects round-robin to workers, skipping objects a
+// worker has already answered, with at most k per worker and each object to
+// at most one worker (the paper's single-answer-per-round policy).
+func dealOut(ctx *Context, ranked []string) map[string][]string {
+	out := make(map[string][]string, len(ctx.Workers))
+	if len(ctx.Workers) == 0 || ctx.K <= 0 {
+		return out
+	}
+	need := len(ctx.Workers) * ctx.K
+	wi := 0
+	for _, o := range ranked {
+		if need == 0 {
+			break
+		}
+		// Find the next worker (starting at wi) with room who hasn't
+		// answered o.
+		placed := false
+		for probe := 0; probe < len(ctx.Workers); probe++ {
+			w := ctx.Workers[(wi+probe)%len(ctx.Workers)]
+			if len(out[w]) >= ctx.K || ctx.Idx.HasAnswered(w, o) {
+				continue
+			}
+			out[w] = append(out[w], o)
+			wi = (wi + probe + 1) % len(ctx.Workers)
+			need--
+			placed = true
+			break
+		}
+		_ = placed
+	}
+	return out
+}

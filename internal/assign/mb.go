@@ -1,0 +1,100 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/infer"
+)
+
+// MB implements the task assigner of DOCS (Zheng, Li & Cheng, PVLDB 2016):
+// for each worker it selects the objects whose expected confidence-entropy
+// decrease is largest under the worker's *domain-specific* quality, i.e.
+//
+//	score(w,o) = H(μ_o) - Σ_{v'} P(v'|q_{w,d}, μ_o) · H(μ_o | v')
+//
+// where the answer model is the DOCS one: correct with probability
+// q_{w,d(o)}, otherwise uniform over the remaining candidates.
+type MB struct{}
+
+// Name implements Assigner.
+func (MB) Name() string { return "MB" }
+
+// Assign implements Assigner. It expects ctx.Res.Model to be an
+// *infer.DOCSState (MB is DOCS-specific, as in the paper); without one it
+// falls back to the scalar worker trust.
+func (MB) Assign(ctx *Context) map[string][]string {
+	st, _ := ctx.Res.Model.(*infer.DOCSState)
+	out := make(map[string][]string, len(ctx.Workers))
+	// Each worker's assignment is optimized independently, as in the
+	// original system where assignment happens when a worker requests
+	// tasks: two workers may receive the same hot object in one round.
+	for _, w := range ctx.Workers {
+		type scored struct {
+			o string
+			s float64
+		}
+		var cand []scored
+		for _, o := range ctx.Idx.Objects {
+			if ctx.Idx.HasAnswered(w, o) {
+				continue
+			}
+			mu := ctx.Res.Confidence[o]
+			n := len(mu)
+			if n < 2 {
+				continue
+			}
+			var q float64
+			if st != nil {
+				dom := "~"
+				if d, ok := ctx.Idx.DS.Domains[o]; ok && d != "" {
+					dom = d
+				}
+				q = st.Quality(w, dom)
+			} else {
+				q = workerTrustOf(ctx.Res, w, 0.7)
+			}
+			wrong := (1 - q) / float64(n-1)
+			h0 := entropy(mu)
+			expH := 0.0
+			post := make([]float64, n)
+			for ans := 0; ans < n; ans++ {
+				// P(answer = ans) under the DOCS model.
+				pAns := 0.0
+				for tr := 0; tr < n; tr++ {
+					l := wrong
+					if tr == ans {
+						l = q
+					}
+					pAns += l * mu[tr]
+				}
+				if pAns <= 0 {
+					continue
+				}
+				z := 0.0
+				for tr := 0; tr < n; tr++ {
+					l := wrong
+					if tr == ans {
+						l = q
+					}
+					post[tr] = l * mu[tr]
+					z += post[tr]
+				}
+				for tr := range post {
+					post[tr] /= z
+				}
+				expH += pAns * entropy(post)
+			}
+			cand = append(cand, scored{o, h0 - expH})
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].s != cand[j].s {
+				return cand[i].s > cand[j].s
+			}
+			return cand[i].o < cand[j].o
+		})
+		for i := 0; i < len(cand) && len(out[w]) < ctx.K; i++ {
+			out[w] = append(out[w], cand[i].o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package assign
+
+// ME is the uncertainty-sampling baseline (Section 5.1): each round the
+// objects whose confidence distributions have the highest entropy are
+// asked, regardless of the expected accuracy gain. It runs on top of any
+// inference algorithm since it needs only Result.Confidence.
+type ME struct{}
+
+// Name implements Assigner.
+func (ME) Name() string { return "ME" }
+
+// Assign implements Assigner.
+func (ME) Assign(ctx *Context) map[string][]string {
+	ranked := rankObjectsBy(ctx.Idx, func(o string) float64 {
+		return entropy(ctx.Res.Confidence[o])
+	})
+	return dealOut(ctx, ranked)
+}

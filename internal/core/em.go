@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/data"
+)
+
+// Run fits the TDH model on the indexed dataset with MAP-EM (Section 3.2).
+//
+// E-step (Figure 4): for every record and answer, the posterior over the
+// hidden truth f^v and the relationship class posteriors g^t are computed
+// under the current parameters. M-step (Eqs. 9–11): μ, φ and ψ are updated
+// from the aggregated posteriors plus their Dirichlet priors. The loop
+// stops when the largest confidence change falls below Options.Tol.
+func Run(idx *data.Index, opt Options) *Model {
+	m := NewModel(idx, opt)
+	opt = m.Opt
+	workers := opt.effectiveWorkers()
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		m.Iterations = iter + 1
+		var delta float64
+		if workers > 1 {
+			delta = m.stepParallel(workers)
+		} else {
+			delta = m.step()
+		}
+		if delta < opt.Tol {
+			break
+		}
+	}
+	// One final E-step refresh of N and D so the incremental EM of the
+	// task-assignment stage sees sufficient statistics consistent with the
+	// final parameters, then re-derive μ = N/D so the exported confidences
+	// and the sufficient statistics agree exactly.
+	m.refreshSufficientStats()
+	for o, mu := range m.Mu {
+		n, d := m.N[o], m.D[o]
+		if d <= 0 {
+			continue
+		}
+		for i := range mu {
+			mu[i] = n[i] / d
+		}
+	}
+	return m
+}
+
+// NewModel builds a Model with initialized (but not yet fitted) parameters.
+// Most callers want Run; NewModel + StepOnce let streaming applications and
+// convergence tests drive the EM themselves.
+func NewModel(idx *data.Index, opt Options) *Model {
+	opt = opt.WithDefaults()
+	m := &Model{
+		Idx: idx,
+		Opt: opt,
+		Mu:  make(map[string][]float64, len(idx.Objects)),
+		Phi: make(map[string][3]float64, len(idx.SourceNames)),
+		Psi: make(map[string][3]float64, len(idx.WorkerNames)),
+		N:   make(map[string][]float64, len(idx.Objects)),
+		D:   make(map[string]float64, len(idx.Objects)),
+	}
+	m.initialize()
+	return m
+}
+
+// initialize sets μ to a smoothed, hierarchy-aware vote distribution and
+// φ, ψ to their prior means. A candidate earns full credit for its own
+// claims and half credit for claims on hierarchically related candidates
+// (ancestors or descendants), so a specific value whose support is spread
+// across generalization levels starts ahead of an unrelated value with a
+// couple of exact repeats — steering the EM toward the hierarchical mode
+// of the posterior instead of a flat-vote local optimum.
+func (m *Model) initialize() {
+	for _, o := range m.Idx.Objects {
+		ov := m.Idx.View(o)
+		n := ov.CI.NumValues()
+		counts := make([]float64, n)
+		for i := range counts {
+			counts[i] = float64(ov.ValueCount[i])
+		}
+		// Worker answers count too so crowdsourced values are not ignored
+		// at initialization.
+		for _, ci := range ov.WorkerClaims {
+			counts[ci]++
+		}
+		mu := make([]float64, n)
+		total := 0.0
+		for i := range mu {
+			mu[i] = counts[i] + 1
+			if !m.Opt.FlatModel {
+				for _, j := range ov.CI.Anc[i] {
+					mu[i] += 0.5 * counts[j]
+				}
+				for _, j := range ov.CI.Desc[i] {
+					mu[i] += 0.5 * counts[j]
+				}
+			}
+			total += mu[i]
+		}
+		for i := range mu {
+			mu[i] /= total
+		}
+		m.Mu[o] = mu
+	}
+	for _, s := range m.Idx.SourceNames {
+		m.Phi[s] = priorMean(m.Opt.Alpha)
+	}
+	for _, w := range m.Idx.WorkerNames {
+		m.Psi[w] = priorMean(m.Opt.Beta)
+	}
+}
+
+// step runs one full E+M iteration and returns the max confidence delta.
+func (m *Model) step() float64 {
+	// Accumulators for the M-step.
+	muNum := make(map[string][]float64, len(m.Mu))
+	for o, mu := range m.Mu {
+		muNum[o] = make([]float64, len(mu))
+	}
+	phiNum := make(map[string][3]float64, len(m.Phi))
+	psiNum := make(map[string][3]float64, len(m.Psi))
+
+	f := make([]float64, 0, 16)
+
+	// Source records.
+	for _, o := range m.Idx.Objects {
+		ov := m.Idx.View(o)
+		mu := m.Mu[o]
+		for s, c := range ov.SourceClaims {
+			phi := m.Phi[s]
+			f = posteriorSource(m, ov, mu, c, phi, f[:0])
+			acc := muNum[o]
+			for i, fi := range f {
+				acc[i] += fi
+			}
+			g := m.classPosteriorSource(ov, mu, c, phi, f)
+			pn := phiNum[s]
+			pn[0] += g[0]
+			pn[1] += g[1]
+			pn[2] += g[2]
+			phiNum[s] = pn
+		}
+		for w, c := range ov.WorkerClaims {
+			psi := m.Psi[w]
+			f = posteriorWorker(m, ov, mu, c, psi, f[:0])
+			acc := muNum[o]
+			for i, fi := range f {
+				acc[i] += fi
+			}
+			g := m.classPosteriorWorker(ov, mu, c, psi, f)
+			pn := psiNum[w]
+			pn[0] += g[0]
+			pn[1] += g[1]
+			pn[2] += g[2]
+			psiNum[w] = pn
+		}
+	}
+	return m.mStep(muNum, phiNum, psiNum)
+}
+
+// mStep applies the M-step updates (Eqs. 9-11) from the aggregated E-step
+// posteriors and returns the max confidence delta.
+func (m *Model) mStep(muNum map[string][]float64, phiNum, psiNum map[string][3]float64) float64 {
+	gamma := m.Opt.Gamma
+
+	// M-step: μ (Eq. 9).
+	maxDelta := 0.0
+	for o, mu := range m.Mu {
+		ov := m.Idx.View(o)
+		nClaims := len(ov.SourceClaims) + len(ov.WorkerClaims)
+		den := float64(nClaims) + float64(len(mu))*(gamma-1)
+		if den <= 0 {
+			continue
+		}
+		num := muNum[o]
+		for i := range mu {
+			nv := num[i] + gamma - 1
+			v := nv / den
+			if d := math.Abs(v - mu[i]); d > maxDelta {
+				maxDelta = d
+			}
+			mu[i] = v
+		}
+	}
+	// φ (Eq. 10) and ψ (Eq. 11).
+	alphaSum := m.Opt.Alpha[0] + m.Opt.Alpha[1] + m.Opt.Alpha[2] - 3
+	for s := range m.Phi {
+		num := phiNum[s]
+		den := float64(len(m.Idx.SourceObjects[s])) + alphaSum
+		if den <= 0 {
+			continue
+		}
+		m.Phi[s] = normalize3([3]float64{
+			(num[0] + m.Opt.Alpha[0] - 1) / den,
+			(num[1] + m.Opt.Alpha[1] - 1) / den,
+			(num[2] + m.Opt.Alpha[2] - 1) / den,
+		})
+	}
+	betaSum := m.Opt.Beta[0] + m.Opt.Beta[1] + m.Opt.Beta[2] - 3
+	for w := range m.Psi {
+		num := psiNum[w]
+		den := float64(len(m.Idx.WorkerObjects[w])) + betaSum
+		if den <= 0 {
+			continue
+		}
+		m.Psi[w] = normalize3([3]float64{
+			(num[0] + m.Opt.Beta[0] - 1) / den,
+			(num[1] + m.Opt.Beta[1] - 1) / den,
+			(num[2] + m.Opt.Beta[2] - 1) / den,
+		})
+	}
+	return maxDelta
+}
+
+// refreshSufficientStats recomputes N_{o,v} and D_o (the numerator and
+// denominator of Eq. 9) under the final parameters.
+func (m *Model) refreshSufficientStats() {
+	gamma := m.Opt.Gamma
+	f := make([]float64, 0, 16)
+	for _, o := range m.Idx.Objects {
+		ov := m.Idx.View(o)
+		mu := m.Mu[o]
+		num := make([]float64, len(mu))
+		for s, c := range ov.SourceClaims {
+			f = posteriorSource(m, ov, mu, c, m.Phi[s], f[:0])
+			for i, fi := range f {
+				num[i] += fi
+			}
+		}
+		for w, c := range ov.WorkerClaims {
+			f = posteriorWorker(m, ov, mu, c, m.Psi[w], f[:0])
+			for i, fi := range f {
+				num[i] += fi
+			}
+		}
+		for i := range num {
+			num[i] += gamma - 1
+		}
+		m.N[o] = num
+		m.D[o] = float64(len(ov.SourceClaims)+len(ov.WorkerClaims)) + float64(len(mu))*(gamma-1)
+	}
+}
+
+// posteriorSource computes f^v_{o,s} = P(v*_o = v | v_o^s = c, μ, φ) for
+// every candidate v, appending into dst.
+func posteriorSource(m *Model, ov *data.ObjectView, mu []float64, c int, phi [3]float64, dst []float64) []float64 {
+	z := 0.0
+	for tr := range mu {
+		p := m.sourceClaimProb(ov, c, tr, phi) * mu[tr]
+		dst = append(dst, p)
+		z += p
+	}
+	if z <= 0 {
+		u := 1.0 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return dst
+	}
+	for i := range dst {
+		dst[i] /= z
+	}
+	return dst
+}
+
+// posteriorWorker is posteriorSource for worker answers (ψ and Pop terms).
+func posteriorWorker(m *Model, ov *data.ObjectView, mu []float64, c int, psi [3]float64, dst []float64) []float64 {
+	z := 0.0
+	for tr := range mu {
+		p := m.workerClaimProb(ov, c, tr, psi) * mu[tr]
+		dst = append(dst, p)
+		z += p
+	}
+	if z <= 0 {
+		u := 1.0 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return dst
+	}
+	for i := range dst {
+		dst[i] /= z
+	}
+	return dst
+}
+
+// classPosteriorSource computes (g¹,g²,g³)_{o,s} from the truth posterior f:
+// the relationship classes partition the candidate space, so g^t is the
+// f-mass of candidates in relationship t with the claim (Figure 4). For
+// truths whose likelihood merged the exact and generalized cases (Eq. 2 —
+// whole objects outside OH, and candidate truths without candidate
+// ancestors), the exact-match mass splits between classes 1 and 2 in
+// proportion φ₁:φ₂.
+func (m *Model) classPosteriorSource(ov *data.ObjectView, mu []float64, c int, phi [3]float64, f []float64) [3]float64 {
+	return m.classPosterior(ov, c, phi, f)
+}
+
+// classPosteriorWorker mirrors classPosteriorSource for worker answers.
+func (m *Model) classPosteriorWorker(ov *data.ObjectView, mu []float64, c int, psi [3]float64, f []float64) [3]float64 {
+	return m.classPosterior(ov, c, psi, f)
+}
+
+func (m *Model) classPosterior(ov *data.ObjectView, c int, theta [3]float64, f []float64) [3]float64 {
+	var g [3]float64
+	if flatObject(m, ov) {
+		// Eq. (2): the exact-match likelihood carried θ₁+θ₂, so its mass
+		// splits between classes 1 and 2 in that proportion.
+		split := theta[0] + theta[1]
+		if split <= 0 {
+			split = 1
+		}
+		g[0] = f[c] * theta[0] / split
+		g[1] = f[c] * theta[1] / split
+		for i, fi := range f {
+			if i != c {
+				g[2] += fi
+			}
+		}
+		return g
+	}
+	for tr, fi := range f {
+		switch relationship(ov, c, tr) {
+		case 1:
+			g[0] += fi
+		case 2:
+			g[1] += fi
+		default:
+			g[2] += fi
+		}
+	}
+	return g
+}
+
+func normalize3(v [3]float64) [3]float64 {
+	s := v[0] + v[1] + v[2]
+	if s <= 0 {
+		return [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	}
+	return [3]float64{v[0] / s, v[1] / s, v[2] / s}
+}

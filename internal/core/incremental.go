@@ -1,0 +1,101 @@
+package core
+
+// Incremental EM (Section 4.2): instead of re-running the full EM after a
+// hypothetical extra answer (o, w, v'), perform a single EM step touching
+// only the new answer, using the cached sufficient statistics N_{o,v}, D_o.
+
+// PosteriorGivenAnswer computes f^v_{o,w|v_o^w=ans} (Eq. 16): the posterior
+// over the truth implied by one hypothetical answer at candidate index ans,
+// under worker trustworthiness psi and the current confidences.
+func (m *Model) PosteriorGivenAnswer(o string, psi [3]float64, ans int) []float64 {
+	ov := m.Idx.View(o)
+	mu := m.Mu[o]
+	f := make([]float64, len(mu))
+	z := 0.0
+	for tr := range mu {
+		p := m.workerClaimProb(ov, ans, tr, psi) * mu[tr]
+		f[tr] = p
+		z += p
+	}
+	if z <= 0 {
+		u := 1.0 / float64(len(f))
+		for i := range f {
+			f[i] = u
+		}
+		return f
+	}
+	for i := range f {
+		f[i] /= z
+	}
+	return f
+}
+
+// CondConfidence computes μ_{o,v | v_o^w = ans} for every candidate v
+// (Eq. 18): the confidence distribution after folding in one hypothetical
+// answer with a single incremental EM step.
+func (m *Model) CondConfidence(o string, psi [3]float64, ans int) []float64 {
+	f := m.PosteriorGivenAnswer(o, psi, ans)
+	n := m.N[o]
+	d := m.D[o] + 1
+	out := make([]float64, len(f))
+	for i := range f {
+		out[i] = (n[i] + f[i]) / d
+	}
+	return out
+}
+
+// CondMaxConfidence returns max_v μ_{o,v | v_o^w = ans} without allocating.
+func (m *Model) CondMaxConfidence(o string, psi [3]float64, ans int) float64 {
+	ov := m.Idx.View(o)
+	mu := m.Mu[o]
+	// Inline PosteriorGivenAnswer to avoid the slice allocation: compute
+	// unnormalized posteriors and track the max of (N + f)/ (D+1).
+	z := 0.0
+	nVals := len(mu)
+	var raw [16]float64
+	var rawS []float64
+	if nVals <= len(raw) {
+		rawS = raw[:nVals]
+	} else {
+		rawS = make([]float64, nVals)
+	}
+	for tr := 0; tr < nVals; tr++ {
+		p := m.workerClaimProb(ov, ans, tr, psi) * mu[tr]
+		rawS[tr] = p
+		z += p
+	}
+	n := m.N[o]
+	d := m.D[o] + 1
+	best := 0.0
+	for i := 0; i < nVals; i++ {
+		fi := 0.0
+		if z > 0 {
+			fi = rawS[i] / z
+		} else {
+			fi = 1.0 / float64(nVals)
+		}
+		if v := (n[i] + fi) / d; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ApplyAnswer permanently folds a real answer into the sufficient
+// statistics and confidences with one incremental step. The crowdsourcing
+// loop uses the full EM between rounds; this is exposed for streaming use
+// and for tests of the incremental update.
+func (m *Model) ApplyAnswer(o, w string, ans int) {
+	psi := m.PsiOf(w)
+	f := m.PosteriorGivenAnswer(o, psi, ans)
+	n := m.N[o]
+	for i := range n {
+		n[i] += f[i]
+	}
+	m.D[o]++
+	mu := m.Mu[o]
+	d := m.D[o]
+	for i := range mu {
+		mu[i] = n[i] / d
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestPosteriorGivenAnswer(t *testing.T) {
+	ds := table1Dataset(t)
+	idx := data.NewIndex(ds)
+	m := Run(idx, DefaultOptions())
+	psi := [3]float64{0.8, 0.1, 0.1}
+	ov := idx.View("bigben")
+	london := ov.CI.Pos["London"]
+	f := m.PosteriorGivenAnswer("bigben", psi, london)
+	sum := 0.0
+	for _, p := range f {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior not normalized: %v", f)
+	}
+	// A reliable worker answering London must put most mass on London.
+	if f[london] < 0.7 {
+		t.Fatalf("posterior should favor the answered value: %v", f)
+	}
+}
+
+func TestCondConfidenceMatchesManualUpdate(t *testing.T) {
+	ds := table1Dataset(t)
+	idx := data.NewIndex(ds)
+	m := Run(idx, DefaultOptions())
+	psi := m.DefaultPsi()
+	o := "statue"
+	ov := idx.View(o)
+	ans := ov.CI.Pos["LibertyIsland"]
+	cond := m.CondConfidence(o, psi, ans)
+	f := m.PosteriorGivenAnswer(o, psi, ans)
+	for i := range cond {
+		want := (m.N[o][i] + f[i]) / (m.D[o] + 1)
+		if math.Abs(cond[i]-want) > 1e-12 {
+			t.Fatalf("CondConfidence[%d] = %v, want %v", i, cond[i], want)
+		}
+	}
+	// Normalized.
+	sum := 0.0
+	for _, p := range cond {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("conditional confidence not normalized: %v (sum %v)", cond, sum)
+	}
+	// CondMaxConfidence agrees with max of CondConfidence.
+	mx := 0.0
+	for _, p := range cond {
+		if p > mx {
+			mx = p
+		}
+	}
+	if got := m.CondMaxConfidence(o, psi, ans); math.Abs(got-mx) > 1e-12 {
+		t.Fatalf("CondMaxConfidence = %v, want %v", got, mx)
+	}
+}
+
+func TestCondConfidenceDampedByClaims(t *testing.T) {
+	// The same confidence distribution but more collected claims → a new
+	// answer changes the confidence LESS (the paper's core argument against
+	// QASCA, Section 4.1).
+	tr := geoTree(t)
+	few := &data.Dataset{
+		Name: "few",
+		Records: []data.Record{
+			{Object: "o", Source: "s1", Value: "NY"},
+			{Object: "o", Source: "s2", Value: "LA"},
+		},
+		Truth: map[string]string{},
+		H:     tr,
+	}
+	many := &data.Dataset{Name: "many", Truth: map[string]string{}, H: tr}
+	for i := 0; i < 10; i++ {
+		src := string(rune('a' + i))
+		v := "NY"
+		if i%2 == 1 {
+			v = "LA"
+		}
+		many.Records = append(many.Records, data.Record{Object: "o", Source: src, Value: v})
+	}
+	mf := Run(data.NewIndex(few), DefaultOptions())
+	mm := Run(data.NewIndex(many), DefaultOptions())
+	psi := [3]float64{0.9, 0.05, 0.05}
+	ovF := data.NewIndex(few).View("o")
+	ansF := ovF.CI.Pos["NY"]
+	ovM := data.NewIndex(many).View("o")
+	ansM := ovM.CI.Pos["NY"]
+	shiftFew := mf.CondMaxConfidence("o", psi, ansF) - mf.MaxConfidence("o")
+	shiftMany := mm.CondMaxConfidence("o", psi, ansM) - mm.MaxConfidence("o")
+	if shiftFew <= shiftMany {
+		t.Fatalf("few-claims shift %v must exceed many-claims shift %v", shiftFew, shiftMany)
+	}
+}
+
+func TestApplyAnswer(t *testing.T) {
+	ds := table1Dataset(t)
+	idx := data.NewIndex(ds)
+	m := Run(idx, DefaultOptions())
+	o := "bigben"
+	ov := idx.View(o)
+	london := ov.CI.Pos["London"]
+	before := m.Mu[o][london]
+	dBefore := m.D[o]
+	m.ApplyAnswer(o, "fresh-worker", london)
+	if m.D[o] != dBefore+1 {
+		t.Fatalf("D must grow by one")
+	}
+	if m.Mu[o][london] <= before {
+		t.Fatalf("confidence must rise after a supporting answer: %v -> %v", before, m.Mu[o][london])
+	}
+	sum := 0.0
+	for _, p := range m.Mu[o] {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mu not normalized after ApplyAnswer: %v", m.Mu[o])
+	}
+}
+
+// TestIncrementalApproximatesFullEM: one incremental step after one extra
+// answer should land near the fully re-run EM's confidence (the
+// approximation Section 4.2 argues for).
+func TestIncrementalApproximatesFullEM(t *testing.T) {
+	ds := table1Dataset(t)
+	idx := data.NewIndex(ds)
+	m := Run(idx, DefaultOptions())
+	o := "bigben"
+	ov := idx.View(o)
+	london := ov.CI.Pos["London"]
+	psi := m.DefaultPsi()
+	inc := m.CondConfidence(o, psi, london)
+
+	ds2 := ds.Clone()
+	ds2.Answers = append(ds2.Answers, data.Answer{Object: o, Worker: "w-new", Value: "London"})
+	m2 := Run(data.NewIndex(ds2), DefaultOptions())
+	full := m2.Mu[o]
+
+	// Candidate order is identical (same value set). Compare coarsely: both
+	// must agree on the winner and be within 0.15 per entry.
+	for i := range inc {
+		if math.Abs(inc[i]-full[i]) > 0.15 {
+			t.Fatalf("incremental %v too far from full EM %v", inc, full)
+		}
+	}
+	argmax := func(xs []float64) int {
+		b := 0
+		for i, x := range xs {
+			if x > xs[b] {
+				b = i
+			}
+		}
+		return b
+	}
+	if argmax(inc) != argmax(full) {
+		t.Fatalf("incremental and full EM disagree on the winner: %v vs %v", inc, full)
+	}
+}

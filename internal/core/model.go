@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/data"
+)
+
+// Model holds the fitted TDH parameters: per-source trustworthiness φ,
+// per-worker trustworthiness ψ, and per-object confidence distributions μ,
+// along with the sufficient statistics N_{o,v} and D_o needed by the
+// incremental EM of the task-assignment algorithm (Section 4.2).
+type Model struct {
+	Idx *data.Index
+	Opt Options
+	// Mu[o][i] is μ_{o,v} for candidate i of object o (same order as
+	// Idx.View(o).CI.Values).
+	Mu map[string][]float64
+	// Phi[s] = (φ_{s,1}, φ_{s,2}, φ_{s,3}).
+	Phi map[string][3]float64
+	// Psi[w] = (ψ_{w,1}, ψ_{w,2}, ψ_{w,3}).
+	Psi map[string][3]float64
+	// N[o][i] and D[o] are the numerator and denominator of the μ update
+	// (Eq. 9) at the final E-step; μ = N/D. They let the incremental EM
+	// fold one extra answer in O(|Vo|) (Eq. 17).
+	N map[string][]float64
+	D map[string]float64
+
+	Iterations int // EM iterations actually run
+}
+
+// DefaultPhi returns the prior-mean source trustworthiness, used to
+// initialize EM and for sources with no claims.
+func (m *Model) DefaultPhi() [3]float64 { return priorMean(m.Opt.Alpha) }
+
+// DefaultPsi returns the prior-mean worker trustworthiness, used for
+// workers that have not answered anything yet.
+func (m *Model) DefaultPsi() [3]float64 { return priorMean(m.Opt.Beta) }
+
+func priorMean(a [3]float64) [3]float64 {
+	s := a[0] + a[1] + a[2]
+	return [3]float64{a[0] / s, a[1] / s, a[2] / s}
+}
+
+// PsiOf returns ψw, falling back to the prior mean for unseen workers.
+func (m *Model) PsiOf(w string) [3]float64 {
+	if p, ok := m.Psi[w]; ok {
+		return p
+	}
+	return m.DefaultPsi()
+}
+
+// PhiOf returns φs, falling back to the prior mean for unseen sources.
+func (m *Model) PhiOf(s string) [3]float64 {
+	if p, ok := m.Phi[s]; ok {
+		return p
+	}
+	return m.DefaultPhi()
+}
+
+// Truths extracts v*_o = argmax_v μ_{o,v} for every object (Eq. 12). Ties
+// break toward the deeper (more specific) value, then lexicographically,
+// so results are deterministic.
+func (m *Model) Truths() map[string]string {
+	out := make(map[string]string, len(m.Mu))
+	for o, mu := range m.Mu {
+		ov := m.Idx.View(o)
+		best, bestP, bestDepth := "", -1.0, -1
+		for i, p := range mu {
+			v := ov.CI.Values[i]
+			d := 0
+			if m.Idx.DS.H != nil {
+				d = m.Idx.DS.H.Depth(v)
+			}
+			if p > bestP+1e-15 || (p > bestP-1e-15 && (d > bestDepth || (d == bestDepth && (best == "" || v < best)))) {
+				best, bestP, bestDepth = v, p, d
+			}
+		}
+		out[o] = best
+	}
+	return out
+}
+
+// Confidence returns μ_{o,·} aligned with Idx.View(o).CI.Values, or nil for
+// unknown objects.
+func (m *Model) Confidence(o string) []float64 { return m.Mu[o] }
+
+// MaxConfidence returns max_v μ_{o,v} (used by the UEAI bound).
+func (m *Model) MaxConfidence(o string) float64 {
+	mx := 0.0
+	for _, p := range m.Mu[o] {
+		if p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// SortedSourcesByReliability returns sources in non-increasing φ_{s,1}.
+func (m *Model) SortedSourcesByReliability() []string {
+	out := append([]string(nil), m.Idx.SourceNames...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return m.PhiOf(out[i])[0] > m.PhiOf(out[j])[0]
+	})
+	return out
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/data"
+	"repro/internal/hierarchy"
+)
+
+// Numeric front-end (Section 3.2, "Extension to numerical data"): numeric
+// claims carry an implicit hierarchy induced by rounding to fewer
+// significant digits, so TDH runs unchanged on the implicit tree and then
+// parses the winning label back to a float.
+
+// NumericResult is the outcome of RunNumeric.
+type NumericResult struct {
+	Model *Model
+	// Estimates maps object -> numeric estimated truth.
+	Estimates map[string]float64
+	// Labels maps object -> the winning canonical claim string.
+	Labels map[string]string
+}
+
+// RunNumeric builds the implicit rounding hierarchy over the numeric claim
+// strings in records, canonicalizes the claims, and fits TDH. Records with
+// non-numeric values participate as flat leaves (they can still win but
+// yield no numeric estimate).
+func RunNumeric(name string, records []data.Record, answers []data.Answer, opt Options) *NumericResult {
+	claims := make([]string, 0, len(records)+len(answers))
+	for _, r := range records {
+		claims = append(claims, r.Value)
+	}
+	for _, a := range answers {
+		claims = append(claims, a.Value)
+	}
+	tree, canon := hierarchy.NumericTree(claims)
+
+	ds := &data.Dataset{Name: name, H: tree, Truth: map[string]string{}}
+	for _, r := range records {
+		ds.Records = append(ds.Records, data.Record{Object: r.Object, Source: r.Source, Value: canon[r.Value]})
+	}
+	for _, a := range answers {
+		ds.Answers = append(ds.Answers, data.Answer{Object: a.Object, Worker: a.Worker, Value: canon[a.Value]})
+	}
+	idx := data.NewIndex(ds)
+	m := Run(idx, opt)
+
+	res := &NumericResult{
+		Model:     m,
+		Estimates: map[string]float64{},
+		Labels:    m.Truths(),
+	}
+	for o, lbl := range res.Labels {
+		if x, err := strconv.ParseFloat(lbl, 64); err == nil {
+			res.Estimates[o] = x
+		}
+	}
+	return res
+}

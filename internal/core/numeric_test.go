@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestRunNumericBasic(t *testing.T) {
+	// Three sources report the area of Seoul at different precisions, one
+	// is wrong, one is an extreme outlier. The rounding hierarchy makes the
+	// precise and rounded reports support each other.
+	records := []data.Record{
+		{Object: "seoul", Source: "gov", Value: "605.196"},
+		{Object: "seoul", Source: "wiki", Value: "605.2"},
+		{Object: "seoul", Source: "blog", Value: "605"},
+		{Object: "seoul", Source: "bad", Value: "333"},
+		{Object: "seoul", Source: "outlier", Value: "60500"},
+	}
+	res := RunNumeric("area", records, nil, DefaultOptions())
+	got, ok := res.Estimates["seoul"]
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(got-605.196) > 0.3 {
+		t.Fatalf("estimate = %v, want ≈605.196 (robust to the outlier)", got)
+	}
+}
+
+func TestRunNumericOutlierRobust(t *testing.T) {
+	// A mean-based method would be destroyed by the 1e6 outlier; TDH picks
+	// the most probable claimed value.
+	var records []data.Record
+	for i := 0; i < 6; i++ {
+		records = append(records, data.Record{
+			Object: "x", Source: string(rune('a' + i)), Value: "42.5",
+		})
+	}
+	records = append(records, data.Record{Object: "x", Source: "wild", Value: "1000000"})
+	res := RunNumeric("attr", records, nil, DefaultOptions())
+	if got := res.Estimates["x"]; math.Abs(got-42.5) > 1e-9 {
+		t.Fatalf("estimate = %v, want 42.5", got)
+	}
+}
+
+func TestRunNumericMixedPrecisionConsensus(t *testing.T) {
+	// Six sources agree at different precisions (two of them exactly); two
+	// agree on a different value. The generalization chain must aggregate
+	// the first group: under the flat reading the vote would be 2-2-1-1-1-1
+	// and the winner a coin flip.
+	records := []data.Record{
+		{Object: "x", Source: "s0", Value: "123.456"},
+		{Object: "x", Source: "s1", Value: "123.456"},
+		{Object: "x", Source: "s2", Value: "123.5"},
+		{Object: "x", Source: "s3", Value: "123"},
+		{Object: "x", Source: "s4", Value: "123.46"},
+		{Object: "x", Source: "s5", Value: "120"},
+		{Object: "x", Source: "s6", Value: "999"},
+		{Object: "x", Source: "s7", Value: "999"},
+	}
+	res := RunNumeric("attr", records, nil, DefaultOptions())
+	got := res.Estimates["x"]
+	if math.Abs(got-123.456) > 1 {
+		t.Fatalf("estimate = %v, want ≈123.456", got)
+	}
+}
+
+func TestRunNumericWithWorkers(t *testing.T) {
+	records := []data.Record{
+		{Object: "x", Source: "s1", Value: "10"},
+		{Object: "x", Source: "s2", Value: "20"},
+	}
+	answers := []data.Answer{
+		{Object: "x", Worker: "w1", Value: "20"},
+		{Object: "x", Worker: "w2", Value: "20"},
+	}
+	res := RunNumeric("attr", records, answers, DefaultOptions())
+	if got := res.Estimates["x"]; math.Abs(got-20) > 1e-9 {
+		t.Fatalf("estimate = %v, want 20", got)
+	}
+}
+
+func TestRunNumericNonNumericValues(t *testing.T) {
+	records := []data.Record{
+		{Object: "x", Source: "s1", Value: "n/a"},
+		{Object: "x", Source: "s2", Value: "n/a"},
+		{Object: "x", Source: "s3", Value: "7"},
+	}
+	res := RunNumeric("attr", records, nil, DefaultOptions())
+	// "n/a" wins by votes but yields no numeric estimate; the label is
+	// still reported.
+	if res.Labels["x"] != "n/a" {
+		t.Fatalf("label = %q", res.Labels["x"])
+	}
+	if _, ok := res.Estimates["x"]; ok {
+		t.Fatal("non-numeric winner must not produce an estimate")
+	}
+}

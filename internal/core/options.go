@@ -1,0 +1,73 @@
+// Package core implements TDH, the paper's hierarchical truth-discovery
+// model (Section 3): a probabilistic generative model in which every source
+// and worker has a three-way trustworthiness distribution — the probability
+// of claiming the exact truth, a generalized (ancestor) truth, or a wrong
+// value — estimated jointly with per-object confidence distributions by a
+// MAP-EM algorithm.
+package core
+
+// Options are the hyperparameters of the TDH model. Zero-value fields are
+// replaced by the paper's defaults (Section 5.1) by WithDefaults.
+type Options struct {
+	// Alpha is the Dirichlet prior of source trustworthiness φs.
+	// Paper default (3, 3, 2): correct values are more frequent than wrong
+	// ones for most sources.
+	Alpha [3]float64
+	// Beta is the Dirichlet prior of worker trustworthiness ψw; default (2,2,2).
+	Beta [3]float64
+	// Gamma is the symmetric Dirichlet prior of each confidence μo; default 2.
+	Gamma float64
+	// MaxIter bounds the EM iterations; default 200.
+	MaxIter int
+	// Tol is the convergence threshold on the max absolute confidence
+	// change; default 1e-7.
+	Tol float64
+	// FlatModel, when true, ignores the hierarchy entirely and degrades TDH
+	// to a flat correct/wrong model (ablation hook; zero value = paper model).
+	FlatModel bool
+	// Workers sets the number of goroutines for the E-step: 0 or 1 runs
+	// sequentially, -1 uses GOMAXPROCS, n>1 uses n. Results are identical
+	// regardless of the setting.
+	Workers int
+	// UniformWorkerErrors, when true, replaces the source-popularity
+	// distributions Pop2/Pop3 of the worker model (Eq. 3) with uniform
+	// choices (ablation for the source→worker dependency; zero value =
+	// paper model).
+	UniformWorkerErrors bool
+}
+
+// DefaultOptions returns the paper's hyperparameter settings.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:   [3]float64{3, 3, 2},
+		Beta:    [3]float64{2, 2, 2},
+		Gamma:   2,
+		MaxIter: 200,
+		Tol:     1e-7,
+	}
+}
+
+// WithDefaults fills unset (zero) fields with the paper's defaults.
+func (o Options) WithDefaults() Options {
+	d := DefaultOptions()
+	if o.Alpha == ([3]float64{}) {
+		o.Alpha = d.Alpha
+	}
+	if o.Beta == ([3]float64{}) {
+		o.Beta = d.Beta
+	}
+	if o.Gamma == 0 {
+		o.Gamma = d.Gamma
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = d.MaxIter
+	}
+	if o.Tol == 0 {
+		o.Tol = d.Tol
+	}
+	return o
+}
+
+// eps floors every categorical probability so EM stays well-defined when a
+// popularity denominator or a case-3 candidate pool is empty.
+const eps = 1e-12

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/synth"
+)
+
+// TestParallelMatchesSequential: the parallel E-step must be bit-for-bit
+// equivalent to the sequential one (objects are shard-exclusive and merges
+// happen in shard order).
+func TestParallelMatchesSequential(t *testing.T) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 3, Scale: 0.05})
+	ds.Answers = append(ds.Answers,
+		data.Answer{Object: ds.Objects()[0], Worker: "w1", Value: ds.Records[0].Value},
+	)
+	idxSeq := data.NewIndex(ds)
+	idxPar := data.NewIndex(ds)
+
+	seqOpt := DefaultOptions()
+	parOpt := DefaultOptions()
+	parOpt.Workers = 4
+
+	mSeq := Run(idxSeq, seqOpt)
+	mPar := Run(idxPar, parOpt)
+
+	if mSeq.Iterations != mPar.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", mSeq.Iterations, mPar.Iterations)
+	}
+	for o, mu := range mSeq.Mu {
+		pmu := mPar.Mu[o]
+		for i := range mu {
+			if math.Abs(mu[i]-pmu[i]) > 1e-12 {
+				t.Fatalf("mu differs on %s[%d]: %v vs %v", o, i, mu[i], pmu[i])
+			}
+		}
+	}
+	for s, phi := range mSeq.Phi {
+		pphi := mPar.Phi[s]
+		for i := 0; i < 3; i++ {
+			if math.Abs(phi[i]-pphi[i]) > 1e-12 {
+				t.Fatalf("phi differs on %s", s)
+			}
+		}
+	}
+	for w, psi := range mSeq.Psi {
+		ppsi := mPar.Psi[w]
+		for i := 0; i < 3; i++ {
+			if math.Abs(psi[i]-ppsi[i]) > 1e-12 {
+				t.Fatalf("psi differs on %s", w)
+			}
+		}
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		in     int
+		sameAs int // -1 means "GOMAXPROCS, just check > 0"
+	}{
+		{0, 1}, {1, 1}, {4, 4}, {-1, -1},
+	}
+	for _, c := range cases {
+		got := Options{Workers: c.in}.effectiveWorkers()
+		if c.sameAs == -1 {
+			if got < 1 {
+				t.Fatalf("Workers=-1 => %d", got)
+			}
+		} else if got != c.sameAs {
+			t.Fatalf("Workers=%d => %d, want %d", c.in, got, c.sameAs)
+		}
+	}
+}
+
+func TestParallelWithMoreWorkersThanObjects(t *testing.T) {
+	ds := &data.Dataset{
+		Name: "tiny",
+		Records: []data.Record{
+			{Object: "o", Source: "s1", Value: "a"},
+			{Object: "o", Source: "s2", Value: "b"},
+		},
+		Truth: map[string]string{},
+	}
+	opt := DefaultOptions()
+	opt.Workers = 64
+	m := Run(data.NewIndex(ds), opt)
+	if len(m.Truths()) != 1 {
+		t.Fatal("tiny parallel run broken")
+	}
+}

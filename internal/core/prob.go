@@ -1,0 +1,146 @@
+package core
+
+import "repro/internal/data"
+
+// relationship classifies the claim index c against the hypothesized truth
+// index tr within an object's candidate set: 1 = exact, 2 = generalized
+// (c is a candidate ancestor of tr), 3 = wrong.
+func relationship(ov *data.ObjectView, c, tr int) int {
+	if c == tr {
+		return 1
+	}
+	for _, a := range ov.CI.Anc[tr] {
+		if a == c {
+			return 2
+		}
+	}
+	return 3
+}
+
+// flatObject reports whether the whole object is handled by Eq. (2): no
+// ancestor-descendant pair among its candidates (o ∉ OH), or the flat-model
+// ablation. Eq. (2) merges the exact and generalized cases so that φ₂ is
+// not underestimated on such objects.
+func flatObject(m *Model, ov *data.ObjectView) bool {
+	return m.Opt.FlatModel || !ov.CI.Hier
+}
+
+// caseScale renormalizes the trustworthiness mass over the relationship
+// classes that are actually possible for a hypothesized truth: a truth with
+// no candidate ancestors cannot receive generalized claims (θ₂ impossible)
+// and a truth whose ancestors cover the whole candidate set cannot receive
+// wrong claims (θ₃ impossible). Without the rescaling the claim
+// distribution sums below one for such truths, which biases the EM and
+// makes the task assigner's expected-accuracy estimates negative. The
+// paper's Eq. (1) leaves these corner truths undefined (|Go(v*)| = 0 makes
+// its second case 0/0); conditioning on the possible cases is the natural
+// completion and reduces to Eq. (1) whenever all three cases exist.
+func caseScale(theta [3]float64, genPossible, wrongPossible bool) float64 {
+	s := theta[0]
+	if genPossible {
+		s += theta[1]
+	}
+	if wrongPossible {
+		s += theta[2]
+	}
+	if s <= 0 {
+		return 1
+	}
+	return 1 / s
+}
+
+// sourceClaimProb implements Eqs. (1) and (2): P(v_o^s = c | v*_o = tr, φs).
+func (m *Model) sourceClaimProb(ov *data.ObjectView, c, tr int, phi [3]float64) float64 {
+	nV := ov.CI.NumValues()
+	if flatObject(m, ov) {
+		if nV <= 1 {
+			return 1
+		}
+		if c == tr {
+			return phi[0] + phi[1]
+		}
+		return maxf(phi[2]/float64(nV-1), eps)
+	}
+	goSize := ov.CI.GoSize(tr)
+	rest := nV - goSize - 1
+	scale := caseScale(phi, goSize > 0, rest > 0)
+	switch relationship(ov, c, tr) {
+	case 1:
+		return maxf(scale*phi[0], eps)
+	case 2:
+		return maxf(scale*phi[1]/float64(goSize), eps)
+	default:
+		if rest <= 0 {
+			return eps
+		}
+		return maxf(scale*phi[2]/float64(rest), eps)
+	}
+}
+
+// workerClaimProb implements Eqs. (3) and (4): P(v_o^w = c | v*_o = tr, ψw),
+// mixing the popularity distributions Pop2/Pop3 computed from the source
+// records unless the ablation flag disables them.
+func (m *Model) workerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) float64 {
+	nV := ov.CI.NumValues()
+	if flatObject(m, ov) {
+		if nV <= 1 {
+			return 1
+		}
+		if c == tr {
+			return psi[0] + psi[1]
+		}
+		p3 := 1.0 / float64(nV-1)
+		if !m.Opt.UniformWorkerErrors {
+			p3 = ov.Pop3(c, tr)
+		}
+		return maxf(psi[2]*p3, eps)
+	}
+	goSize := ov.CI.GoSize(tr)
+	rest := nV - goSize - 1
+	scale := caseScale(psi, goSize > 0, rest > 0)
+	switch relationship(ov, c, tr) {
+	case 1:
+		return maxf(scale*psi[0], eps)
+	case 2:
+		p2 := 1.0 / float64(goSize)
+		if !m.Opt.UniformWorkerErrors {
+			p2 = ov.Pop2(c, tr)
+		}
+		return maxf(scale*psi[1]*p2, eps)
+	default:
+		if rest <= 0 {
+			return eps
+		}
+		p3 := 1.0 / float64(rest)
+		if !m.Opt.UniformWorkerErrors {
+			p3 = ov.Pop3(c, tr)
+		}
+		return maxf(scale*psi[2]*p3, eps)
+	}
+}
+
+// WorkerClaimProb exposes the worker answer model P(v_o^w = c | v*_o = tr, ψ)
+// for callers outside the package (the QASCA assigner and tests).
+func (m *Model) WorkerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) float64 {
+	return m.workerClaimProb(ov, c, tr, psi)
+}
+
+// AnswerLikelihood computes P(v_o^w = c | ψ, μo) = Σ_v P(c|v*, ψ)·μ_{o,v}
+// (Eq. 6) for candidate index c of object o — the distribution a worker's
+// next answer is expected to follow, used by EAI (Eq. 15) and QASCA.
+func (m *Model) AnswerLikelihood(o string, psi [3]float64, c int) float64 {
+	ov := m.Idx.View(o)
+	mu := m.Mu[o]
+	p := 0.0
+	for tr := range mu {
+		p += m.workerClaimProb(ov, c, tr, psi) * mu[tr]
+	}
+	return p
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+)
+
+// Fitted-model serialization: a TDH fit over a large crawl takes seconds to
+// minutes, while serving truths, trust scores and task assignments from it
+// is instant. Save/Load let a fit be reused across processes. The snapshot
+// stores parameters keyed by object/source/worker name; Load verifies the
+// snapshot matches the index it is attached to (same objects and candidate
+// set sizes), because the sufficient statistics are only meaningful against
+// the records they were fitted on.
+
+// snapshot is the wire form of a fitted model.
+type snapshot struct {
+	Options    Options              `json:"options"`
+	Iterations int                  `json:"iterations"`
+	Mu         map[string][]float64 `json:"mu"`
+	Phi        map[string][]float64 `json:"phi"`
+	Psi        map[string][]float64 `json:"psi"`
+	N          map[string][]float64 `json:"n"`
+	D          map[string]float64   `json:"d"`
+}
+
+// Save writes the fitted model parameters as JSON.
+func (m *Model) Save(w io.Writer) error {
+	sn := snapshot{
+		Options:    m.Opt,
+		Iterations: m.Iterations,
+		Mu:         m.Mu,
+		N:          m.N,
+		D:          m.D,
+		Phi:        map[string][]float64{},
+		Psi:        map[string][]float64{},
+	}
+	for s, phi := range m.Phi {
+		sn.Phi[s] = phi[:]
+	}
+	for w2, psi := range m.Psi {
+		sn.Psi[w2] = psi[:]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&sn)
+}
+
+// Load reads a model snapshot and attaches it to idx. It fails if the
+// snapshot's objects or candidate-set sizes do not match the index.
+func Load(r io.Reader, idx *data.Index) (*Model, error) {
+	var sn snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	m := &Model{
+		Idx:        idx,
+		Opt:        sn.Options,
+		Iterations: sn.Iterations,
+		Mu:         sn.Mu,
+		N:          sn.N,
+		D:          sn.D,
+		Phi:        map[string][3]float64{},
+		Psi:        map[string][3]float64{},
+	}
+	if m.Mu == nil || m.N == nil || m.D == nil {
+		return nil, fmt.Errorf("core: snapshot missing parameter blocks")
+	}
+	for s, v := range sn.Phi {
+		if len(v) != 3 {
+			return nil, fmt.Errorf("core: phi(%s) has %d entries", s, len(v))
+		}
+		m.Phi[s] = [3]float64{v[0], v[1], v[2]}
+	}
+	for w, v := range sn.Psi {
+		if len(v) != 3 {
+			return nil, fmt.Errorf("core: psi(%s) has %d entries", w, len(v))
+		}
+		m.Psi[w] = [3]float64{v[0], v[1], v[2]}
+	}
+	// Consistency against the index.
+	for _, o := range idx.Objects {
+		mu, ok := m.Mu[o]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot missing object %q", o)
+		}
+		if want := idx.View(o).CI.NumValues(); len(mu) != want {
+			return nil, fmt.Errorf("core: object %q has %d candidates in the snapshot, %d in the index", o, len(mu), want)
+		}
+		if n := m.N[o]; len(n) != len(mu) {
+			return nil, fmt.Errorf("core: object %q has inconsistent sufficient statistics", o)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,154 @@
+// Package data defines the record/answer model of crowdsourced truth
+// discovery (Definitions 2.1–2.4 of the paper) and the candidate-set index
+// shared by every inference algorithm in this repository.
+package data
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hierarchy"
+)
+
+// Record is a claim (o, s, v_o^s) collected from a data source.
+type Record struct {
+	Object string `json:"object"`
+	Source string `json:"source"`
+	Value  string `json:"value"`
+}
+
+// Answer is a claim (o, w, v_o^w) collected from a crowd worker.
+type Answer struct {
+	Object string `json:"object"`
+	Worker string `json:"worker"`
+	Value  string `json:"value"`
+}
+
+// Dataset bundles the inputs of the truth-discovery problem: source records,
+// worker answers, the value hierarchy, the gold standard, and optional
+// object domains (used by the domain-aware baselines DOCS and DART).
+type Dataset struct {
+	Name    string            `json:"name"`
+	Records []Record          `json:"records"`
+	Answers []Answer          `json:"answers"`
+	Truth   map[string]string `json:"truth"`   // object -> gold value
+	Domains map[string]string `json:"domains"` // object -> domain label, optional
+	H       *hierarchy.Tree   `json:"-"`
+}
+
+// Clone returns a deep copy of the dataset sharing the (immutable) tree.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Name:    d.Name,
+		Records: append([]Record(nil), d.Records...),
+		Answers: append([]Answer(nil), d.Answers...),
+		Truth:   make(map[string]string, len(d.Truth)),
+		Domains: make(map[string]string, len(d.Domains)),
+		H:       d.H,
+	}
+	for k, v := range d.Truth {
+		c.Truth[k] = v
+	}
+	for k, v := range d.Domains {
+		c.Domains[k] = v
+	}
+	return c
+}
+
+// Objects returns the sorted set of objects that appear in records or
+// answers.
+func (d *Dataset) Objects() []string {
+	seen := map[string]bool{}
+	for _, r := range d.Records {
+		seen[r.Object] = true
+	}
+	for _, a := range d.Answers {
+		seen[a.Object] = true
+	}
+	out := make([]string, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sources returns the sorted set of sources.
+func (d *Dataset) Sources() []string {
+	seen := map[string]bool{}
+	for _, r := range d.Records {
+		seen[r.Source] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workers returns the sorted set of workers present in answers.
+func (d *Dataset) Workers() []string {
+	seen := map[string]bool{}
+	for _, a := range d.Answers {
+		seen[a.Worker] = true
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks referential sanity: non-empty fields and hierarchy
+// presence of claimed values is NOT required (values may be out-of-tree),
+// but empty identifiers are rejected.
+func (d *Dataset) Validate() error {
+	for i, r := range d.Records {
+		if r.Object == "" || r.Source == "" || r.Value == "" {
+			return fmt.Errorf("data: record %d has empty field: %+v", i, r)
+		}
+	}
+	for i, a := range d.Answers {
+		if a.Object == "" || a.Worker == "" || a.Value == "" {
+			return fmt.Errorf("data: answer %d has empty field: %+v", i, a)
+		}
+	}
+	if d.H != nil {
+		if err := d.H.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scale returns a dataset duplicated k times (objects and sources renamed
+// per copy), used by the paper's Figure 13 scalability experiment.
+func (d *Dataset) Scale(k int) *Dataset {
+	if k <= 1 {
+		return d.Clone()
+	}
+	out := &Dataset{
+		Name:    fmt.Sprintf("%s-x%d", d.Name, k),
+		Truth:   map[string]string{},
+		Domains: map[string]string{},
+		H:       d.H,
+	}
+	for i := 0; i < k; i++ {
+		suf := fmt.Sprintf("#%d", i)
+		for _, r := range d.Records {
+			out.Records = append(out.Records, Record{r.Object + suf, r.Source + suf, r.Value})
+		}
+		for _, a := range d.Answers {
+			out.Answers = append(out.Answers, Answer{a.Object + suf, a.Worker + suf, a.Value})
+		}
+		for o, t := range d.Truth {
+			out.Truth[o+suf] = t
+		}
+		for o, dom := range d.Domains {
+			out.Domains[o+suf] = dom
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package data
+
+import (
+	"sort"
+
+	"repro/internal/hierarchy"
+)
+
+// ObjectView is the per-object slice of the index: candidate values Vo with
+// their hierarchy relations, plus the claims grouped by participant.
+type ObjectView struct {
+	Object string
+	// CI indexes Vo: ancestor/descendant sets and the o ∈ OH flag.
+	CI *hierarchy.CandidateIndex
+	// SourceClaims maps source -> candidate index of its claimed value.
+	SourceClaims map[string]int
+	// WorkerClaims maps worker -> candidate index of its claimed value.
+	WorkerClaims map[string]int
+	// ValueCount[i] is the number of SOURCES claiming candidate i; the
+	// popularity terms Pop2/Pop3 of the worker model are ratios of these.
+	ValueCount []int
+}
+
+// Pop2 returns Pop2(v|v*) — among source records whose value is a candidate
+// ancestor of truth index tr, the fraction claiming candidate v (both are
+// candidate indices). Falls back to uniform over Go(truth) when no source
+// generalized the truth.
+func (ov *ObjectView) Pop2(v, tr int) float64 {
+	den := 0
+	for _, a := range ov.CI.Anc[tr] {
+		den += ov.ValueCount[a]
+	}
+	if den == 0 {
+		if g := ov.CI.GoSize(tr); g > 0 {
+			return 1.0 / float64(g)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+// Pop3 returns Pop3(v|v*) — among source records whose value is neither the
+// truth tr nor one of its candidate ancestors, the fraction claiming v.
+// Falls back to uniform over the wrong-value set when empty.
+func (ov *ObjectView) Pop3(v, tr int) float64 {
+	den := 0
+	wrong := 0
+	isAncOfTr := make(map[int]bool, len(ov.CI.Anc[tr]))
+	for _, a := range ov.CI.Anc[tr] {
+		isAncOfTr[a] = true
+	}
+	for i, c := range ov.ValueCount {
+		if i == tr || isAncOfTr[i] {
+			continue
+		}
+		wrong++
+		den += c
+	}
+	if den == 0 {
+		if wrong > 0 {
+			return 1.0 / float64(wrong)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+// Index is the precomputed view of a Dataset that all inference algorithms
+// consume: per-object candidate sets and per-participant claim lists.
+type Index struct {
+	DS      *Dataset
+	Objects []string               // sorted
+	Views   map[string]*ObjectView // object -> view
+	// Os / Ow: objects claimed per source / per worker, sorted.
+	SourceObjects map[string][]string
+	WorkerObjects map[string][]string
+	SourceNames   []string
+	WorkerNames   []string
+}
+
+// NewIndex builds the index. Worker answers contribute to candidate sets
+// (workers answered from Vo in the paper's setting, but the index tolerates
+// out-of-Vo answers by extending the candidate set, which also covers
+// free-text crowdsourcing).
+func NewIndex(ds *Dataset) *Index {
+	idx := &Index{
+		DS:            ds,
+		Views:         map[string]*ObjectView{},
+		SourceObjects: map[string][]string{},
+		WorkerObjects: map[string][]string{},
+	}
+	perObjVals := map[string][]string{}
+	for _, r := range ds.Records {
+		perObjVals[r.Object] = append(perObjVals[r.Object], r.Value)
+	}
+	for _, a := range ds.Answers {
+		perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
+	}
+	for o, vals := range perObjVals {
+		idx.Objects = append(idx.Objects, o)
+		ci := hierarchy.NewCandidateIndex(ds.H, vals)
+		idx.Views[o] = &ObjectView{
+			Object:       o,
+			CI:           ci,
+			SourceClaims: map[string]int{},
+			WorkerClaims: map[string]int{},
+			ValueCount:   make([]int, ci.NumValues()),
+		}
+	}
+	sort.Strings(idx.Objects)
+	for _, r := range ds.Records {
+		ov := idx.Views[r.Object]
+		if _, dup := ov.SourceClaims[r.Source]; dup {
+			// One claim per (object, source): later duplicates are dropped
+			// so SourceClaims, ValueCount and SourceObjects stay mutually
+			// consistent — the EM's M-step normalizers depend on it.
+			continue
+		}
+		vi := ov.CI.Pos[r.Value]
+		ov.SourceClaims[r.Source] = vi
+		ov.ValueCount[vi]++
+		idx.SourceObjects[r.Source] = append(idx.SourceObjects[r.Source], r.Object)
+	}
+	for _, a := range ds.Answers {
+		ov := idx.Views[a.Object]
+		if _, dup := ov.WorkerClaims[a.Worker]; dup {
+			continue // one answer per (object, worker), same invariant
+		}
+		ov.WorkerClaims[a.Worker] = ov.CI.Pos[a.Value]
+		idx.WorkerObjects[a.Worker] = append(idx.WorkerObjects[a.Worker], a.Object)
+	}
+	for s, objs := range idx.SourceObjects {
+		sort.Strings(objs)
+		idx.SourceNames = append(idx.SourceNames, s)
+	}
+	for w, objs := range idx.WorkerObjects {
+		sort.Strings(objs)
+		idx.WorkerNames = append(idx.WorkerNames, w)
+	}
+	sort.Strings(idx.SourceNames)
+	sort.Strings(idx.WorkerNames)
+	return idx
+}
+
+// NumObjects returns |O|.
+func (idx *Index) NumObjects() int { return len(idx.Objects) }
+
+// View returns the per-object view, or nil if the object is unknown.
+func (idx *Index) View(o string) *ObjectView { return idx.Views[o] }
+
+// HasAnswered reports whether worker w already answered object o.
+func (idx *Index) HasAnswered(w, o string) bool {
+	ov := idx.Views[o]
+	if ov == nil {
+		return false
+	}
+	_, ok := ov.WorkerClaims[w]
+	return ok
+}

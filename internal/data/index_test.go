@@ -1,0 +1,120 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndexStructure(t *testing.T) {
+	ds := tinyDataset(t)
+	idx := NewIndex(ds)
+	if idx.NumObjects() != 2 {
+		t.Fatalf("NumObjects = %d", idx.NumObjects())
+	}
+	ov := idx.View("statue")
+	if ov == nil {
+		t.Fatal("missing view")
+	}
+	if got := ov.CI.NumValues(); got != 3 {
+		t.Fatalf("|Vo| = %d, want 3", got)
+	}
+	if !ov.CI.Hier {
+		t.Fatal("statue has NY/LibertyIsland: o ∈ OH")
+	}
+	if len(ov.SourceClaims) != 3 || len(ov.WorkerClaims) != 0 {
+		t.Fatalf("claims: %d sources, %d workers", len(ov.SourceClaims), len(ov.WorkerClaims))
+	}
+	bb := idx.View("bigben")
+	if len(bb.WorkerClaims) != 1 {
+		t.Fatal("bigben must have emma's answer")
+	}
+	if bb.CI.Hier {
+		t.Fatal("London/Manchester unrelated: o ∉ OH")
+	}
+	if !idx.HasAnswered("emma", "bigben") || idx.HasAnswered("emma", "statue") {
+		t.Fatal("HasAnswered wrong")
+	}
+	if idx.HasAnswered("emma", "ghost-object") {
+		t.Fatal("unknown object must report false")
+	}
+	if got := idx.SourceObjects["unesco"]; len(got) != 1 || got[0] != "statue" {
+		t.Fatalf("Os(unesco) = %v", got)
+	}
+	if got := idx.WorkerObjects["emma"]; len(got) != 1 || got[0] != "bigben" {
+		t.Fatalf("Ow(emma) = %v", got)
+	}
+	if len(idx.SourceNames) != 5 || len(idx.WorkerNames) != 1 {
+		t.Fatal("name lists wrong")
+	}
+}
+
+func TestValueCountsAndPop(t *testing.T) {
+	ds := tinyDataset(t)
+	// Add a second source agreeing on NY so popularity is non-trivial.
+	ds.Records = append(ds.Records, Record{"statue", "extra", "NY"})
+	idx := NewIndex(ds)
+	ov := idx.View("statue")
+	ny := ov.CI.Pos["NY"]
+	li := ov.CI.Pos["LibertyIsland"]
+	la := ov.CI.Pos["LA"]
+	if ov.ValueCount[ny] != 2 || ov.ValueCount[li] != 1 || ov.ValueCount[la] != 1 {
+		t.Fatalf("ValueCount = %v", ov.ValueCount)
+	}
+	// Pop2(NY | truth=LibertyIsland): NY is the only candidate ancestor of
+	// LI, claimed by 2 of the 2 generalizing sources → 1.
+	if got := ov.Pop2(ny, li); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pop2 = %v, want 1", got)
+	}
+	// Pop3(LA | truth=LibertyIsland): wrong values are {LA}: share 1.
+	if got := ov.Pop3(la, li); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pop3 = %v, want 1", got)
+	}
+	// Pop3(LA | truth=NY): wrong values are {LibertyIsland? no — LI is a
+	// descendant, not an ancestor, so it counts as wrong} and {LA}.
+	// counts: LI=1, LA=1 → Pop3(LA|NY) = 1/2.
+	if got := ov.Pop3(la, ny); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Pop3(LA|NY) = %v, want 0.5", got)
+	}
+}
+
+func TestPopFallbacks(t *testing.T) {
+	// An object where nobody generalized: Pop2 falls back to uniform.
+	tr := tinyTree(t)
+	ds := &Dataset{
+		Name: "p",
+		Records: []Record{
+			{"o", "s1", "LibertyIsland"},
+			{"o", "s2", "NY"}, // candidate ancestor exists...
+		},
+		Truth: map[string]string{},
+		H:     tr,
+	}
+	idx := NewIndex(ds)
+	ov := idx.View("o")
+	li := ov.CI.Pos["LibertyIsland"]
+	ny := ov.CI.Pos["NY"]
+	// Go(LI) = {NY} with one claiming source → Pop2(NY|LI) = 1.
+	if got := ov.Pop2(ny, li); got != 1 {
+		t.Fatalf("Pop2 = %v", got)
+	}
+	// Truth NY has no wrong candidates besides LI; Pop3(LI|NY) = 1.
+	if got := ov.Pop3(li, ny); got != 1 {
+		t.Fatalf("Pop3 = %v", got)
+	}
+}
+
+func TestIndexWorkerExtendsCandidates(t *testing.T) {
+	// A worker answer with a value no source claimed still becomes a
+	// candidate (tolerant indexing).
+	ds := tinyDataset(t)
+	ds.Answers = append(ds.Answers, Answer{"statue", "w9", "London"})
+	idx := NewIndex(ds)
+	ov := idx.View("statue")
+	if _, ok := ov.CI.Pos["London"]; !ok {
+		t.Fatal("worker-only value must join the candidate set")
+	}
+	// Its source count is zero.
+	if ov.ValueCount[ov.CI.Pos["London"]] != 0 {
+		t.Fatal("worker answers must not bump source ValueCount")
+	}
+}

@@ -1,0 +1,114 @@
+package data
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/hierarchy"
+)
+
+// wireDataset is the on-disk JSON shape; the hierarchy is flattened to
+// (node, parent) edges so the format is diff-friendly and stable.
+type wireDataset struct {
+	Name    string            `json:"name"`
+	Root    string            `json:"root"`
+	Edges   [][2]string       `json:"edges"` // [node, parent]
+	Records []Record          `json:"records"`
+	Answers []Answer          `json:"answers"`
+	Truth   map[string]string `json:"truth"`
+	Domains map[string]string `json:"domains,omitempty"`
+}
+
+// Write serializes the dataset as JSON to w.
+func Write(w io.Writer, ds *Dataset) error {
+	wd := wireDataset{
+		Name:    ds.Name,
+		Records: ds.Records,
+		Answers: ds.Answers,
+		Truth:   ds.Truth,
+		Domains: ds.Domains,
+	}
+	if ds.H != nil {
+		wd.Root = ds.H.Root()
+		nodes := ds.H.Nodes()
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			if p, ok := ds.H.Parent(n); ok {
+				wd.Edges = append(wd.Edges, [2]string{n, p})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&wd)
+}
+
+// Read parses a dataset previously produced by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	var wd wireDataset
+	if err := json.NewDecoder(r).Decode(&wd); err != nil {
+		return nil, fmt.Errorf("data: decode: %w", err)
+	}
+	ds := &Dataset{
+		Name:    wd.Name,
+		Records: wd.Records,
+		Answers: wd.Answers,
+		Truth:   wd.Truth,
+		Domains: wd.Domains,
+	}
+	if ds.Truth == nil {
+		ds.Truth = map[string]string{}
+	}
+	if wd.Root != "" {
+		t := hierarchy.New(wd.Root)
+		// Edges may arrive in any order; insert breadth-wise until fixpoint.
+		pending := append([][2]string(nil), wd.Edges...)
+		for len(pending) > 0 {
+			next := pending[:0]
+			progressed := false
+			for _, e := range pending {
+				if t.Contains(e[1]) {
+					if err := t.Add(e[0], e[1]); err != nil {
+						return nil, err
+					}
+					progressed = true
+				} else {
+					next = append(next, e)
+				}
+			}
+			if !progressed {
+				return nil, fmt.Errorf("data: hierarchy edges contain orphan nodes (%d left)", len(next))
+			}
+			pending = next
+		}
+		t.Freeze()
+		ds.H = t
+	}
+	return ds, ds.Validate()
+}
+
+// SaveFile writes the dataset to path.
+func SaveFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, ds); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

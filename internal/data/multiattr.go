@@ -1,0 +1,143 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hierarchy"
+)
+
+// Multi-attribute fusion. The paper presents truth discovery over a single
+// attribute and notes the generalization to several is straightforward
+// (Section 2.1); this file makes it concrete: per-attribute record sets
+// over shared sources are fused into one Dataset whose objects are
+// "attribute/object" pairs and whose hierarchy is the disjoint union of the
+// attribute hierarchies under a fresh root. Fusing matters because a
+// source's trustworthiness is estimated from ALL its claims: evidence from
+// one attribute sharpens truth estimates in another.
+
+// Attribute is one attribute's truth-discovery instance.
+type Attribute struct {
+	Name    string
+	Records []Record
+	Answers []Answer
+	Truth   map[string]string // object -> gold value, optional
+	H       *hierarchy.Tree   // optional
+}
+
+// QualifyObject builds the fused object key for (attribute, object).
+func QualifyObject(attr, object string) string { return attr + "/" + object }
+
+// SplitObject reverses QualifyObject.
+func SplitObject(key string) (attr, object string, ok bool) {
+	attr, object, ok = strings.Cut(key, "/")
+	return
+}
+
+// MergeAttributes fuses the attributes into a single Dataset. Hierarchy
+// node labels must be unique across attributes (the synthetic generators
+// namespace them with per-dataset prefixes); a collision is an error since
+// it would silently relate values from different attributes.
+func MergeAttributes(name string, attrs []Attribute) (*Dataset, error) {
+	ds := &Dataset{
+		Name:    name,
+		Truth:   map[string]string{},
+		Domains: map[string]string{},
+	}
+	merged := hierarchy.New(hierarchy.Root)
+	seenAttr := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("data: attribute with empty name")
+		}
+		if strings.Contains(a.Name, "/") {
+			return nil, fmt.Errorf("data: attribute name %q must not contain '/'", a.Name)
+		}
+		if seenAttr[a.Name] {
+			return nil, fmt.Errorf("data: duplicate attribute %q", a.Name)
+		}
+		seenAttr[a.Name] = true
+		if a.H != nil {
+			if err := graft(merged, a.H); err != nil {
+				return nil, fmt.Errorf("data: attribute %q: %w", a.Name, err)
+			}
+		}
+		for _, r := range a.Records {
+			ds.Records = append(ds.Records, Record{
+				Object: QualifyObject(a.Name, r.Object),
+				Source: r.Source,
+				Value:  r.Value,
+			})
+		}
+		for _, an := range a.Answers {
+			ds.Answers = append(ds.Answers, Answer{
+				Object: QualifyObject(a.Name, an.Object),
+				Worker: an.Worker,
+				Value:  an.Value,
+			})
+		}
+		for o, v := range a.Truth {
+			ds.Truth[QualifyObject(a.Name, o)] = v
+		}
+		// The attribute itself is a natural domain label for the
+		// domain-aware baselines.
+		for _, r := range a.Records {
+			ds.Domains[QualifyObject(a.Name, r.Object)] = a.Name
+		}
+	}
+	merged.Freeze()
+	ds.H = merged
+	return ds, ds.Validate()
+}
+
+// graft copies every node of src (except its root) into dst, preserving
+// parent edges; depth-1 nodes of src attach to dst's root.
+func graft(dst *hierarchy.Tree, src *hierarchy.Tree) error {
+	// Insert in depth order so parents exist before children.
+	nodes := src.Nodes()
+	byDepth := map[int][]string{}
+	maxDepth := 0
+	for _, n := range nodes {
+		if n == src.Root() {
+			continue
+		}
+		d := src.Depth(n)
+		byDepth[d] = append(byDepth[d], n)
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	for d := 1; d <= maxDepth; d++ {
+		for _, n := range byDepth[d] {
+			parent, _ := src.Parent(n)
+			if parent == src.Root() {
+				parent = dst.Root()
+			}
+			if dst.Contains(n) {
+				return fmt.Errorf("hierarchy node %q appears in more than one attribute", n)
+			}
+			if err := dst.Add(n, parent); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SplitTruths regroups fused estimates by attribute.
+func SplitTruths(est map[string]string) map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for key, v := range est {
+		attr, obj, ok := SplitObject(key)
+		if !ok {
+			continue
+		}
+		m := out[attr]
+		if m == nil {
+			m = map[string]string{}
+			out[attr] = m
+		}
+		m[obj] = v
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+)
+
+func attrTree(t *testing.T, prefix string) *hierarchy.Tree {
+	t.Helper()
+	tr := hierarchy.New(hierarchy.Root)
+	tr.MustAdd(prefix+"top", hierarchy.Root)
+	tr.MustAdd(prefix+"mid", prefix+"top")
+	tr.MustAdd(prefix+"leaf", prefix+"mid")
+	tr.Freeze()
+	return tr
+}
+
+func TestMergeAttributes(t *testing.T) {
+	a := Attribute{
+		Name: "birthplace",
+		Records: []Record{
+			{Object: "alice", Source: "s1", Value: "bp:leaf"},
+			{Object: "alice", Source: "s2", Value: "bp:mid"},
+		},
+		Truth: map[string]string{"alice": "bp:leaf"},
+		H:     attrTree(t, "bp:"),
+	}
+	b := Attribute{
+		Name: "deathplace",
+		Records: []Record{
+			{Object: "alice", Source: "s1", Value: "dp:top"},
+		},
+		Answers: []Answer{{Object: "alice", Worker: "w1", Value: "dp:mid"}},
+		Truth:   map[string]string{"alice": "dp:mid"},
+		H:       attrTree(t, "dp:"),
+	}
+	ds, err := MergeAttributes("fused", []Attribute{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 3 || len(ds.Answers) != 1 {
+		t.Fatalf("records/answers = %d/%d", len(ds.Records), len(ds.Answers))
+	}
+	// Objects qualified, sources shared.
+	objs := ds.Objects()
+	if len(objs) != 2 || objs[0] != "birthplace/alice" || objs[1] != "deathplace/alice" {
+		t.Fatalf("objects = %v", objs)
+	}
+	if got := len(ds.Sources()); got != 2 {
+		t.Fatalf("sources = %d, want shared s1+s2", got)
+	}
+	// The merged hierarchy relates values within an attribute only.
+	if !ds.H.IsAncestor("bp:top", "bp:leaf") {
+		t.Fatal("intra-attribute relation lost")
+	}
+	if ds.H.IsAncestor("bp:top", "dp:leaf") {
+		t.Fatal("cross-attribute relation must not exist")
+	}
+	// Domains default to the attribute name.
+	if ds.Domains["birthplace/alice"] != "birthplace" {
+		t.Fatalf("domain = %q", ds.Domains["birthplace/alice"])
+	}
+	// Truths qualified and splittable.
+	split := SplitTruths(ds.Truth)
+	if split["birthplace"]["alice"] != "bp:leaf" || split["deathplace"]["alice"] != "dp:mid" {
+		t.Fatalf("split = %v", split)
+	}
+}
+
+func TestMergeAttributeErrors(t *testing.T) {
+	good := Attribute{Name: "a", H: attrTree(t, "x:")}
+	if _, err := MergeAttributes("f", []Attribute{good, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate attribute must fail")
+	}
+	if _, err := MergeAttributes("f", []Attribute{{Name: ""}}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := MergeAttributes("f", []Attribute{{Name: "a/b"}}); err == nil {
+		t.Fatal("slash in name must fail")
+	}
+	// Colliding hierarchy nodes across attributes must fail.
+	c1 := Attribute{Name: "a", H: attrTree(t, "same:")}
+	c2 := Attribute{Name: "b", H: attrTree(t, "same:")}
+	if _, err := MergeAttributes("f", []Attribute{c1, c2}); err == nil {
+		t.Fatal("node collision must fail")
+	}
+}
+
+func TestQualifySplit(t *testing.T) {
+	key := QualifyObject("attr", "obj/with/slash")
+	a, o, ok := SplitObject(key)
+	if !ok || a != "attr" || o != "obj/with/slash" {
+		t.Fatalf("split = %q %q %v", a, o, ok)
+	}
+	if _, _, ok := SplitObject("noslash"); ok {
+		t.Fatal("missing separator must report !ok")
+	}
+}

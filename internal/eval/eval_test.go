@@ -1,0 +1,193 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/hierarchy"
+)
+
+func geoTree(t testing.TB) *hierarchy.Tree {
+	t.Helper()
+	tr := hierarchy.New(hierarchy.Root)
+	for _, e := range [][2]string{
+		{"USA", hierarchy.Root}, {"UK", hierarchy.Root},
+		{"NY", "USA"}, {"LA", "USA"}, {"LibertyIsland", "NY"},
+		{"London", "UK"}, {"Manchester", "UK"},
+	} {
+		tr.MustAdd(e[0], e[1])
+	}
+	tr.Freeze()
+	return tr
+}
+
+func evalDataset(t testing.TB) (*data.Dataset, *data.Index) {
+	t.Helper()
+	ds := &data.Dataset{
+		Name: "e",
+		Records: []data.Record{
+			{Object: "a", Source: "s", Value: "LibertyIsland"},
+			{Object: "a", Source: "s2", Value: "NY"},
+			{Object: "b", Source: "s", Value: "London"},
+			{Object: "b", Source: "s2", Value: "Manchester"},
+			{Object: "c", Source: "s", Value: "NY"},
+			{Object: "c", Source: "s2", Value: "LA"},
+		},
+		Truth: map[string]string{
+			"a": "LibertyIsland",
+			"b": "London",
+			"c": "LibertyIsland", // gold NOT in candidates: falls back to NY
+		},
+		H: geoTree(t),
+	}
+	return ds, data.NewIndex(ds)
+}
+
+func TestEvaluateExact(t *testing.T) {
+	ds, idx := evalDataset(t)
+	sc := Evaluate(ds, idx, map[string]string{
+		"a": "LibertyIsland", "b": "London", "c": "NY",
+	})
+	if sc.N != 3 {
+		t.Fatalf("N = %d", sc.N)
+	}
+	// c's gold adjusts to NY (the most specific candidate ancestor), so all
+	// three are exact hits.
+	if sc.Accuracy != 1 || sc.GenAccuracy != 1 || sc.AvgDistance != 0 {
+		t.Fatalf("scores = %+v", sc)
+	}
+}
+
+func TestEvaluateGeneralized(t *testing.T) {
+	ds, idx := evalDataset(t)
+	sc := Evaluate(ds, idx, map[string]string{
+		"a": "NY", // ancestor of gold: generalized hit, distance 1
+		"b": "Manchester",
+		"c": "LA",
+	})
+	if math.Abs(sc.Accuracy-0) > 1e-12 {
+		t.Fatalf("accuracy = %v", sc.Accuracy)
+	}
+	if math.Abs(sc.GenAccuracy-1.0/3) > 1e-9 {
+		t.Fatalf("gen accuracy = %v", sc.GenAccuracy)
+	}
+	// distances: a: NY->LibertyIsland = 1; b: Manchester->London = 2;
+	// c: LA->NY = 2. Mean = 5/3.
+	if math.Abs(sc.AvgDistance-5.0/3) > 1e-9 {
+		t.Fatalf("avg distance = %v", sc.AvgDistance)
+	}
+}
+
+func TestEvaluateSkipsMissingEstimates(t *testing.T) {
+	ds, idx := evalDataset(t)
+	sc := Evaluate(ds, idx, map[string]string{"a": "LibertyIsland"})
+	if sc.N != 1 || sc.Accuracy != 1 {
+		t.Fatalf("scores = %+v", sc)
+	}
+}
+
+// TestQuickAccuracyLeGenAccuracy: for any estimate assignment, Accuracy <=
+// GenAccuracy (an exact hit is also a generalized hit).
+func TestQuickAccuracyLeGenAccuracy(t *testing.T) {
+	ds, idx := evalDataset(t)
+	vals := []string{"NY", "LA", "LibertyIsland", "London", "Manchester", "USA", "UK"}
+	f := func(i1, i2, i3 uint8) bool {
+		est := map[string]string{
+			"a": vals[int(i1)%len(vals)],
+			"b": vals[int(i2)%len(vals)],
+			"c": vals[int(i3)%len(vals)],
+		}
+		sc := Evaluate(ds, idx, est)
+		return sc.Accuracy <= sc.GenAccuracy+1e-12 && sc.AvgDistance >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthClosure(t *testing.T) {
+	ds, _ := evalDataset(t)
+	cl := TruthClosure(ds, "LibertyIsland")
+	want := []string{"LibertyIsland", "NY", "USA"}
+	if len(cl) != len(want) {
+		t.Fatalf("closure = %v", cl)
+	}
+	for _, v := range want {
+		if !cl[v] {
+			t.Fatalf("closure missing %s", v)
+		}
+	}
+	// Out-of-tree value: singleton closure.
+	if got := TruthClosure(ds, "Atlantis"); len(got) != 1 || !got["Atlantis"] {
+		t.Fatalf("closure = %v", got)
+	}
+}
+
+func TestEvaluateMulti(t *testing.T) {
+	ds, _ := evalDataset(t)
+	// Perfect prediction for a, partial for b, empty for c.
+	pred := map[string][]string{
+		"a": {"LibertyIsland", "NY", "USA"},
+		"b": {"London", "Manchester"}, // 1 TP (London), 1 FP, misses UK
+	}
+	prf := EvaluateMulti(ds, nil, pred)
+	// gold sets: a: {LI, NY, USA}(3), b: {London, UK}(2), c: {LI, NY, USA}(3)
+	// TP = 3 + 1 = 4; FP = 1; FN = 0 (a) + 1 (UK) + 3 (c) = 4.
+	wantP := 4.0 / 5
+	wantR := 4.0 / 8
+	if math.Abs(prf.Precision-wantP) > 1e-9 || math.Abs(prf.Recall-wantR) > 1e-9 {
+		t.Fatalf("prf = %+v, want P=%v R=%v", prf, wantP, wantR)
+	}
+	wantF1 := 2 * wantP * wantR / (wantP + wantR)
+	if math.Abs(prf.F1-wantF1) > 1e-9 {
+		t.Fatalf("f1 = %v, want %v", prf.F1, wantF1)
+	}
+	// Duplicate predictions must not double-count.
+	pred["a"] = []string{"NY", "NY", "NY"}
+	prf2 := EvaluateMulti(ds, nil, pred)
+	if prf2.Precision > 1 {
+		t.Fatal("duplicates double-counted")
+	}
+}
+
+func TestEvaluateNumeric(t *testing.T) {
+	gold := map[string]float64{"a": 10, "b": -4, "c": 0}
+	est := map[string]float64{"a": 11, "b": -4, "c": 0.5}
+	sc := EvaluateNumeric(gold, est)
+	if sc.N != 3 {
+		t.Fatalf("N = %d", sc.N)
+	}
+	if math.Abs(sc.MAE-0.5) > 1e-12 { // (1 + 0 + 0.5)/3
+		t.Fatalf("MAE = %v", sc.MAE)
+	}
+	// RE: 1/10 + 0 + 0.5 (zero gold falls back to absolute) = 0.6/3 = 0.2
+	if math.Abs(sc.RE-0.2) > 1e-12 {
+		t.Fatalf("RE = %v", sc.RE)
+	}
+	// NaN estimates are skipped.
+	sc = EvaluateNumeric(gold, map[string]float64{"a": math.NaN()})
+	if sc.N != 0 {
+		t.Fatal("NaN must be skipped")
+	}
+}
+
+func TestSourceQuality(t *testing.T) {
+	ds, _ := evalDataset(t)
+	q := SourceQuality(ds)
+	s := q["s"] // claims: a=LI (exact), b=London (exact), c=NY (ancestor of LI)
+	if s.Claims != 3 {
+		t.Fatalf("claims = %d", s.Claims)
+	}
+	if math.Abs(s.Accuracy-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", s.Accuracy)
+	}
+	if math.Abs(s.GenAccuracy-1) > 1e-9 {
+		t.Fatalf("gen accuracy = %v", s.GenAccuracy)
+	}
+	s2 := q["s2"] // NY (anc of a's gold), Manchester (wrong), LA (wrong)
+	if math.Abs(s2.Accuracy-0) > 1e-9 || math.Abs(s2.GenAccuracy-1.0/3) > 1e-9 {
+		t.Fatalf("s2 = %+v", s2)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast: 5% scale, few rounds, sparse eval.
+func tinyCfg() Config {
+	return Config{Scale: 0.06, Rounds: 6, Seed: 21, EvalEvery: 3}
+}
+
+func TestReportRenderAndCells(t *testing.T) {
+	rep := &Report{
+		ID:    "x",
+		Title: "demo",
+		Cols:  []string{"a", "b"},
+		Rows:  []Row{{Label: "r1", Cells: []float64{1, 2}}, {Label: "r2", Cells: []float64{3, 4}}},
+		Notes: []string{"note"},
+	}
+	if v, ok := rep.Cell("r2", "b"); !ok || v != 4 {
+		t.Fatalf("Cell = %v, %v", v, ok)
+	}
+	if _, ok := rep.Cell("nope", "b"); ok {
+		t.Fatal("missing row must not resolve")
+	}
+	if _, ok := rep.Cell("r1", "nope"); ok {
+		t.Fatal("missing col must not resolve")
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "r1", "r2", "note", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCell on a missing cell must panic")
+		}
+	}()
+	rep.MustCell("ghost", "a")
+}
+
+func TestRegistry(t *testing.T) {
+	if len(IDs()) != 15 {
+		t.Fatalf("experiments = %d, want 15 (every table and figure plus the ablations)", len(IDs()))
+	}
+	for _, name := range []string{"TDH", "VOTE", "LCA", "DOCS", "ASUMS", "MDC", "ACCU", "POPACCU", "LFC", "CRH"} {
+		if _, ok := InferencerByName(name); !ok {
+			t.Fatalf("missing inferencer %s", name)
+		}
+	}
+	if _, ok := InferencerByName("GHOST"); ok {
+		t.Fatal("unknown inferencer must not resolve")
+	}
+	for _, name := range []string{"EAI", "QASCA", "ME", "MB"} {
+		if _, ok := AssignerByName(name); !ok {
+			t.Fatalf("missing assigner %s", name)
+		}
+	}
+	combos := Table4Combos()
+	if len(combos) != 17 {
+		t.Fatalf("table 4 combos = %d, want 17 (1 EAI + 1 MB + 5 QASCA + 10 ME)", len(combos))
+	}
+	for _, c := range combos {
+		if c.Assignment == "EAI" && c.Inference != "TDH" {
+			t.Fatal("EAI pairs only with TDH")
+		}
+		if c.Assignment == "MB" && c.Inference != "DOCS" {
+			t.Fatal("MB pairs only with DOCS")
+		}
+	}
+	if len(HeadlineCombos()) != 5 {
+		t.Fatal("headline combos must be the paper's five")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep := Fig1(tinyCfg())
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Some source must show a positive generalization gap (Figure 1's
+	// entire point).
+	found := false
+	for _, row := range rep.Rows {
+		if row.Cells[3] > 0.02 {
+			found = true
+		}
+		if row.Cells[1] > row.Cells[2]+1e-9 {
+			t.Fatalf("%s: Accuracy above GenAccuracy", row.Label)
+		}
+	}
+	if !found {
+		t.Fatal("no source shows a generalization tendency")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rep := Table3(tinyCfg())
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 algorithms", len(rep.Rows))
+	}
+	tdhAcc := rep.MustCell("TDH", "BP-Acc")
+	voteAcc := rep.MustCell("VOTE", "BP-Acc")
+	if tdhAcc <= voteAcc {
+		t.Fatalf("TDH (%v) must beat VOTE (%v) on BirthPlaces accuracy", tdhAcc, voteAcc)
+	}
+	if rep.MustCell("TDH", "BP-AvgDist") >= rep.MustCell("VOTE", "BP-AvgDist") {
+		t.Fatal("TDH must beat VOTE on AvgDistance")
+	}
+	if rep.MustCell("TDH", "HG-Acc") <= rep.MustCell("ASUMS", "HG-Acc") {
+		t.Fatal("TDH must beat ASUMS on Heritages")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rep := Fig5(tinyCfg())
+	if len(rep.Rows) < 7 {
+		t.Fatalf("rows = %d, want the 7 BirthPlaces sources (plus anchor)", len(rep.Rows))
+	}
+	// φ1 must correlate with actual accuracy: the most accurate source's
+	// φ1 should beat the least accurate source's φ1.
+	bestAcc, worstAcc := "", ""
+	var bestV, worstV float64 = -1, 2
+	for _, row := range rep.Rows {
+		acc, _ := rep.Cell(row.Label, "Accuracy")
+		if acc > bestV {
+			bestV, bestAcc = acc, row.Label
+		}
+		if acc < worstV {
+			worstV, worstAcc = acc, row.Label
+		}
+	}
+	if rep.MustCell(bestAcc, "phi1") <= rep.MustCell(worstAcc, "phi1") {
+		t.Fatalf("phi1 should track accuracy: best=%s worst=%s", bestAcc, worstAcc)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	cfg := tinyCfg()
+	reps := Fig6(cfg)
+	if len(reps) != 2 {
+		t.Fatalf("reports = %d, want one per dataset", len(reps))
+	}
+	for _, rep := range reps {
+		if len(rep.Rows) != 3 {
+			t.Fatalf("rows = %d, want TDH+{EAI,QASCA,ME}", len(rep.Rows))
+		}
+		// All start from the same round-0 accuracy.
+		var first float64
+		for i, row := range rep.Rows {
+			if i == 0 {
+				first = row.Cells[0]
+			} else if row.Cells[0] != first {
+				t.Fatal("round 0 must be identical across assigners")
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	reps := Fig7(tinyCfg())
+	for _, rep := range reps {
+		qascaEst := rep.MustCell("TDH+QASCA", "mean-estimated(pp)")
+		qascaAct := rep.MustCell("TDH+QASCA", "mean-actual(pp)")
+		if qascaEst <= qascaAct {
+			t.Errorf("%s: QASCA must overestimate (est %v vs act %v)", rep.Title, qascaEst, qascaAct)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	cfg := tinyCfg()
+	reps := Fig13(cfg)
+	for _, rep := range reps {
+		if len(rep.Rows) == 0 {
+			t.Fatal("no scale factors")
+		}
+		for _, row := range rep.Rows {
+			evalNo, _ := rep.Cell(row.Label, "evalNoPrune")
+			evalP, _ := rep.Cell(row.Label, "evalPrune")
+			if evalP > evalNo {
+				t.Fatalf("%s: pruning evaluated more EAI scores (%v > %v)", row.Label, evalP, evalNo)
+			}
+		}
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rep := Table6(tinyCfg())
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 algorithms", len(rep.Rows))
+	}
+	// TDH must beat MEAN on every attribute's relative error.
+	for _, col := range []string{"chg-R/E", "open-R/E", "eps-R/E"} {
+		if rep.MustCell("TDH", col) >= rep.MustCell("MEAN", col) {
+			t.Errorf("TDH should beat MEAN on %s", col)
+		}
+	}
+}
+
+func TestRunAndRunAllUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "nope", tinyCfg()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := Run(&buf, "fig1", tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig1") {
+		t.Fatal("output missing report")
+	}
+}

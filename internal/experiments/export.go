@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report export formats, so regenerated tables and series feed directly
+// into plotting pipelines: CSV (one row per label) and JSON (the full
+// report structure).
+
+// WriteCSV renders the report as CSV: a header of "row" plus the column
+// names, then one record per row.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"row"}, r.Cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := make([]string, 0, len(row.Cells)+1)
+		rec = append(rec, row.Label)
+		for _, v := range row.Cells {
+			rec = append(rec, strconv.FormatFloat(v, 'g', 8, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the full report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Render writes the report in the requested format: "text" (default),
+// "csv" or "json".
+func (r *Report) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		r.Print(w)
+		return nil
+	case "csv":
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title); err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "json":
+		return r.WriteJSON(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (text, csv, json)", format)
+	}
+}
+
+// RunFormatted is Run with an output format.
+func RunFormatted(w io.Writer, id, format string, cfg Config) error {
+	f, ok := Runner[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	for _, rep := range f(cfg) {
+		if err := rep.Render(w, format); err != nil {
+			return err
+		}
+	}
+	return nil
+}

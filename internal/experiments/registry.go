@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/assign"
+	"repro/internal/data"
+	"repro/internal/infer"
+	"repro/internal/synth"
+)
+
+// InferencersInPaperOrder returns the ten truth-inference algorithms of
+// Table 3 in the paper's row order.
+func InferencersInPaperOrder() []infer.Inferencer {
+	return []infer.Inferencer{
+		infer.NewTDH(),
+		infer.Vote{},
+		infer.LCA{},
+		infer.DOCS{},
+		infer.ASUMS{},
+		infer.MDC{},
+		infer.Accu{DetectDependence: true},
+		infer.PopAccu{},
+		infer.LFC{},
+		infer.CRH{},
+	}
+}
+
+// InferencerByName looks an algorithm up by its paper name.
+func InferencerByName(name string) (infer.Inferencer, bool) {
+	for _, a := range InferencersInPaperOrder() {
+		if a.Name() == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// AssignerByName returns the task-assignment algorithm by paper name.
+func AssignerByName(name string) (assign.Assigner, bool) {
+	switch name {
+	case "EAI":
+		return assign.EAI{}, true
+	case "QASCA":
+		return assign.QASCA{}, true
+	case "ME":
+		return assign.ME{}, true
+	case "MB":
+		return assign.MB{}, true
+	}
+	return nil, false
+}
+
+// Combo is one (inference, assignment) pair of Table 4.
+type Combo struct{ Inference, Assignment string }
+
+// Table4Combos returns every valid combination of Table 4: EAI works only
+// with TDH, MB only with DOCS, QASCA with the probabilistic models, ME with
+// everything.
+func Table4Combos() []Combo {
+	var out []Combo
+	out = append(out, Combo{"TDH", "EAI"})
+	out = append(out, Combo{"DOCS", "MB"})
+	for _, ti := range []string{"TDH", "DOCS", "LCA", "POPACCU", "ACCU"} {
+		out = append(out, Combo{ti, "QASCA"})
+	}
+	for _, a := range InferencersInPaperOrder() {
+		out = append(out, Combo{a.Name(), "ME"})
+	}
+	return out
+}
+
+// HeadlineCombos are the five combinations plotted in Figures 8–10 (the
+// best or second-best per assigner).
+func HeadlineCombos() []Combo {
+	return []Combo{
+		{"TDH", "EAI"},
+		{"VOTE", "ME"},
+		{"LCA", "ME"},
+		{"DOCS", "MB"},
+		{"DOCS", "QASCA"},
+	}
+}
+
+// datasets builds the two categorical datasets at the configured scale.
+func datasets(cfg Config) []*data.Dataset {
+	return []*data.Dataset{
+		synth.BirthPlaces(synth.BirthPlacesConfig{Seed: cfg.Seed, Scale: cfg.Scale}),
+		synth.Heritages(synth.HeritagesConfig{Seed: cfg.Seed, Scale: cfg.Scale}),
+	}
+}

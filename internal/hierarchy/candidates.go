@@ -1,0 +1,91 @@
+package hierarchy
+
+// CandidateIndex precomputes, for one object's candidate value set Vo, the
+// ancestor set Go(v) and descendant set Do(v) of every candidate (Table 2 of
+// the paper), plus whether the object belongs to OH — the set of objects
+// whose candidates contain at least one ancestor-descendant pair.
+//
+// Values that do not appear in the hierarchy are treated as isolated leaves
+// directly under the root: they have no candidate ancestors or descendants.
+type CandidateIndex struct {
+	// Values is the candidate set Vo in sorted order.
+	Values []string
+	// Pos maps a candidate value to its index in Values.
+	Pos map[string]int
+	// Anc[i] lists indices of candidates that are proper ancestors of
+	// Values[i], excluding the root: Go(v).
+	Anc [][]int
+	// Desc[i] lists indices of candidates that are proper descendants of
+	// Values[i]: Do(v).
+	Desc [][]int
+	// Hier reports whether any ancestor-descendant pair exists (o ∈ OH).
+	Hier bool
+}
+
+// NewCandidateIndex builds the index for candidates over tree t. The
+// candidates slice is not retained; it may contain duplicates, which are
+// collapsed.
+func NewCandidateIndex(t *Tree, candidates []string) *CandidateIndex {
+	seen := make(map[string]bool, len(candidates))
+	vals := make([]string, 0, len(candidates))
+	for _, v := range candidates {
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sortStrings(vals)
+	ci := &CandidateIndex{
+		Values: vals,
+		Pos:    make(map[string]int, len(vals)),
+		Anc:    make([][]int, len(vals)),
+		Desc:   make([][]int, len(vals)),
+	}
+	for i, v := range vals {
+		ci.Pos[v] = i
+	}
+	for i, v := range vals {
+		if t == nil || !t.Contains(v) {
+			continue
+		}
+		for _, a := range t.Ancestors(v) {
+			if j, ok := ci.Pos[a]; ok {
+				ci.Anc[i] = append(ci.Anc[i], j)
+				ci.Desc[j] = append(ci.Desc[j], i)
+				ci.Hier = true
+			}
+		}
+	}
+	return ci
+}
+
+// NumValues returns |Vo|.
+func (ci *CandidateIndex) NumValues() int { return len(ci.Values) }
+
+// GoSize returns |Go(v)| for the candidate at index i.
+func (ci *CandidateIndex) GoSize(i int) int { return len(ci.Anc[i]) }
+
+// IsAncestorOf reports whether candidate i is a proper ancestor of candidate j.
+func (ci *CandidateIndex) IsAncestorOf(i, j int) bool {
+	for _, a := range ci.Anc[j] {
+		if a == i {
+			return true
+		}
+	}
+	return false
+}
+
+// NotDescSize returns |¬Do(v)| = |Vo| - |Do(v)| - 1 for candidate i.
+func (ci *CandidateIndex) NotDescSize(i int) int {
+	return len(ci.Values) - len(ci.Desc[i]) - 1
+}
+
+func sortStrings(s []string) {
+	// insertion sort: candidate sets are tiny (|Vo| is single digits in the
+	// paper's datasets) and this avoids importing sort in the hot path.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

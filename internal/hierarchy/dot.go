@@ -1,0 +1,38 @@
+package hierarchy
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format for visual inspection
+// (`dot -Tsvg out.dot`). The optional highlight set colors nodes — the
+// webtrust example uses it to mark inferred truths vs claimed values.
+func (t *Tree) WriteDOT(w io.Writer, name string, highlight map[string]string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for _, n := range t.Nodes() {
+		attrs := ""
+		if color, ok := highlight[n]; ok {
+			attrs = fmt.Sprintf(" [style=filled, fillcolor=%q]", color)
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s;\n", dotLabel(n), attrs); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Nodes() {
+		if p, ok := t.Parent(n); ok {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", dotLabel(p), dotLabel(n)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func dotLabel(n string) string {
+	return strings.ReplaceAll(n, `"`, `\"`)
+}

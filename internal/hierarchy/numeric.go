@@ -1,0 +1,168 @@
+package hierarchy
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file implements the implicit hierarchy over numeric values described
+// in Section 3.2 ("Extension to numerical data"): a value va is an ancestor
+// of vd iff va can be obtained from vd by rounding off trailing significant
+// digits. E.g. 605.196 -> 605.2 -> 605 -> 600 (chain of generalizations).
+//
+// Numeric claims are carried as strings because the number of significant
+// digits *is* the information content: "605" and "605.0" differ.
+
+// SigDigits returns the number of significant digits in the decimal string
+// s, and ok=false if s is not a plain decimal number. Leading zeros are not
+// significant; trailing zeros after a decimal point are; trailing zeros of
+// an integer are treated as not significant (the conservative reading used
+// when building the rounding chain).
+func SigDigits(s string) (int, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if s[0] == '+' || s[0] == '-' {
+		s = s[1:]
+	}
+	intPart, fracPart, hasDot := strings.Cut(s, ".")
+	if intPart == "" && fracPart == "" {
+		return 0, false
+	}
+	for _, part := range []string{intPart, fracPart} {
+		for _, c := range part {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+		}
+	}
+	digits := strings.TrimLeft(intPart, "0")
+	if digits == "" {
+		// 0.00123 -> significant digits start at first nonzero of fraction.
+		frac := strings.TrimLeft(fracPart, "0")
+		if frac == "" {
+			return 1, true // exact zero
+		}
+		return len(frac), true
+	}
+	if hasDot {
+		return len(digits) + len(fracPart), true
+	}
+	// Integer: trailing zeros treated as non-significant.
+	trimmed := strings.TrimRight(digits, "0")
+	if trimmed == "" {
+		return 1, true
+	}
+	return len(trimmed), true
+}
+
+// RoundSig rounds x to n significant digits (n >= 1) using round-half-away-
+// from-zero, matching how web sources typically truncate measurements.
+func RoundSig(x float64, n int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	if n < 1 {
+		n = 1
+	}
+	mag := math.Ceil(math.Log10(math.Abs(x)))
+	pow := math.Pow(10, float64(n)-mag)
+	return math.Round(x*pow) / pow
+}
+
+// FormatSig formats x with n significant digits in plain decimal notation
+// (no exponent), producing the canonical node label for the implicit
+// hierarchy level n.
+func FormatSig(x float64, n int) string {
+	if n < 1 {
+		n = 1
+	}
+	r := RoundSig(x, n)
+	if r == 0 {
+		return "0"
+	}
+	mag := int(math.Ceil(math.Log10(math.Abs(r))))
+	dec := n - mag
+	if dec < 0 {
+		dec = 0
+	}
+	s := strconv.FormatFloat(r, 'f', dec, 64)
+	// Keep the representation canonical: "605.20" and "605.2" are the same
+	// level-4 node only if we do not trim, so we trim nothing here; but a
+	// trailing dot is never produced by FormatFloat.
+	return s
+}
+
+// GeneralizationChain returns the rounding chain of the decimal string s
+// from most specific (s itself, canonicalized) to 1 significant digit.
+// ok=false if s is not numeric.
+func GeneralizationChain(s string) ([]string, bool) {
+	x, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return nil, false
+	}
+	n, ok := SigDigits(s)
+	if !ok {
+		return nil, false
+	}
+	// Iterated rounding: each level rounds the PREVIOUS level, not the raw
+	// value. This makes a node's parent a deterministic function of the node
+	// label alone, so chains from different claims can never disagree about
+	// the parent of a shared node.
+	chain := make([]string, 0, n)
+	cur := FormatSig(x, n)
+	chain = append(chain, cur)
+	for k := n - 1; k >= 1; k-- {
+		cx, err := strconv.ParseFloat(cur, 64)
+		if err != nil {
+			break
+		}
+		next := FormatSig(cx, k)
+		if next != cur {
+			chain = append(chain, next)
+		}
+		cur = next
+	}
+	return chain, true
+}
+
+// NumericTree builds the implicit rounding hierarchy over the given numeric
+// claim strings. Every claim contributes its full generalization chain; all
+// 1-significant-digit values hang off the synthetic root. Non-numeric
+// strings are attached directly under the root as isolated leaves so mixed
+// data does not crash callers.
+//
+// The returned canon map sends each input string to its canonical node
+// label in the tree (inputs like "605.196" and " 605.196" collapse).
+func NumericTree(claims []string) (*Tree, map[string]string) {
+	t := New(Root)
+	canon := make(map[string]string, len(claims))
+	for _, c := range claims {
+		chain, ok := GeneralizationChain(c)
+		if !ok {
+			lbl := strings.TrimSpace(c)
+			if lbl == "" {
+				lbl = c
+			}
+			if !t.Contains(lbl) {
+				t.MustAdd(lbl, Root)
+			}
+			canon[c] = lbl
+			continue
+		}
+		// chain[0] is the most specific; walk from general to specific.
+		parent := Root
+		for i := len(chain) - 1; i >= 0; i-- {
+			node := chain[i]
+			if !t.Contains(node) {
+				t.MustAdd(node, parent)
+			}
+			parent = node
+		}
+		canon[c] = chain[0]
+	}
+	t.Freeze()
+	return t, canon
+}

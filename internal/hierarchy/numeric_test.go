@@ -1,0 +1,168 @@
+package hierarchy
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigDigits(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"605.196", 6, true},
+		{"605.2", 4, true},
+		{"605", 3, true},
+		{"600", 1, true}, // trailing integer zeros not significant
+		{"0.0012", 2, true},
+		{"0.00", 1, true},
+		{"0", 1, true},
+		{"-3.50", 3, true},
+		{"+12.5", 3, true},
+		{" 42 ", 2, true},
+		{"1e5", 0, false},
+		{"abc", 0, false},
+		{"", 0, false},
+		{".", 0, false},
+		{"12.", 2, true},
+		{".5", 1, true},
+	}
+	for _, c := range cases {
+		got, ok := SigDigits(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("SigDigits(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRoundSig(t *testing.T) {
+	cases := []struct {
+		x    float64
+		n    int
+		want float64
+	}{
+		{605.196, 4, 605.2},
+		{605.196, 3, 605},
+		{605.196, 2, 610},
+		{605.196, 1, 600},
+		{-605.196, 2, -610},
+		{0.0012345, 2, 0.0012},
+		{0, 3, 0},
+		{9.99, 2, 10},
+	}
+	for _, c := range cases {
+		if got := RoundSig(c.x, c.n); math.Abs(got-c.want) > 1e-9*math.Abs(c.want)+1e-15 {
+			t.Errorf("RoundSig(%v, %d) = %v, want %v", c.x, c.n, got, c.want)
+		}
+	}
+	if got := RoundSig(5.5, 0); got != 6 { // n clamped to 1
+		t.Errorf("RoundSig(5.5, 0) = %v, want 6", got)
+	}
+}
+
+func TestFormatSig(t *testing.T) {
+	cases := []struct {
+		x    float64
+		n    int
+		want string
+	}{
+		{605.196, 6, "605.196"},
+		{605.196, 5, "605.20"},
+		{605.196, 4, "605.2"},
+		{605.196, 3, "605"},
+		{605.196, 2, "610"},
+		{605.196, 1, "600"},
+		{0.00123, 2, "0.0012"},
+		{0, 4, "0"},
+		{-42.5, 2, "-43"},
+	}
+	for _, c := range cases {
+		if got := FormatSig(c.x, c.n); got != c.want {
+			t.Errorf("FormatSig(%v, %d) = %q, want %q", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+func TestGeneralizationChain(t *testing.T) {
+	chain, ok := GeneralizationChain("605.196")
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if chain[0] != "605.196" {
+		t.Fatalf("chain[0] = %q", chain[0])
+	}
+	// Iterated rounding: each element is the previous rounded one digit.
+	for i := 1; i < len(chain); i++ {
+		prev, _ := strconv.ParseFloat(chain[i-1], 64)
+		pn, _ := SigDigits(chain[i-1])
+		want := FormatSig(prev, pn-1)
+		// Dedup means some levels are skipped; the next entry must match
+		// rounding at SOME lower precision.
+		found := false
+		for k := pn - 1; k >= 1; k-- {
+			if FormatSig(prev, k) == chain[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("chain step %q -> %q not a rounding (expected like %q)", chain[i-1], chain[i], want)
+		}
+	}
+	if _, ok := GeneralizationChain("not-a-number"); ok {
+		t.Fatal("non-numeric must fail")
+	}
+}
+
+func TestNumericTree(t *testing.T) {
+	tree, canon := NumericTree([]string{"605.196", "605.2", "605", "1.5", "junk"})
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if canon["junk"] != "junk" || !tree.Contains("junk") {
+		t.Fatal("non-numeric claims must become flat leaves")
+	}
+	// 605 must be an ancestor of 605.196's canonical node.
+	if !tree.IsAncestor("605", canon["605.196"]) {
+		t.Fatalf("605 should be ancestor of %q", canon["605.196"])
+	}
+	if !tree.IsAncestor("605.2", canon["605.196"]) {
+		t.Fatal("605.2 should be an ancestor of 605.196")
+	}
+	if tree.IsAncestor("1.5", "605") || tree.IsAncestor("605", "1.5") {
+		t.Fatal("unrelated magnitudes must not be related")
+	}
+}
+
+// TestQuickNumericTreeParents: in the implicit hierarchy, a node's parent is
+// a deterministic function of the node alone, so building a tree from any
+// claim multiset must never panic and must validate; and every numeric
+// claim's canonical node must exist with its full chain.
+func TestQuickNumericTreeParents(t *testing.T) {
+	f := func(raw []float64) bool {
+		var claims []string
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			n := i%5 + 1
+			claims = append(claims, FormatSig(x, n))
+		}
+		tree, canon := NumericTree(claims)
+		if err := tree.Validate(); err != nil {
+			return false
+		}
+		for _, c := range claims {
+			if !tree.Contains(canon[c]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

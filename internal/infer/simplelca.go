@@ -1,0 +1,98 @@
+package infer
+
+import (
+	"repro/internal/data"
+)
+
+// SimpleLCA is the basic Latent Credibility Analysis model (Pasternack &
+// Roth, WWW 2013): a provider is honest with probability θ_p and asserts
+// the truth; otherwise the claim is drawn uniformly from the remaining
+// candidates. GuessLCA (the paper's pick, implemented as LCA in this
+// package) replaces the uniform error with the empirical guess
+// distribution; SimpleLCA is kept as the ablation of that choice.
+type SimpleLCA struct {
+	MaxIter int // default 50
+}
+
+// Name implements Inferencer.
+func (SimpleLCA) Name() string { return "SIMPLELCA" }
+
+// Infer implements Inferencer.
+func (l SimpleLCA) Infer(idx *data.Index) *Result {
+	if l.MaxIter == 0 {
+		l.MaxIter = 50
+	}
+	res := newResult(idx)
+	theta := map[provider]float64{}
+	for _, o := range idx.Objects {
+		ov := idx.View(o)
+		conf := res.Confidence[o]
+		for _, cl := range claimsOf(ov) {
+			conf[cl.c]++
+			theta[cl.p] = 0.7
+		}
+		normalize(conf)
+	}
+	for iter := 0; iter < l.MaxIter; iter++ {
+		maxDelta := 0.0
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			conf := res.Confidence[o]
+			n := float64(ov.CI.NumValues())
+			post := make([]float64, len(conf))
+			copy(post, conf)
+			for _, cl := range claimsOf(ov) {
+				th := theta[cl.p]
+				var wrong float64
+				if n > 1 {
+					wrong = (1 - th) / (n - 1)
+				}
+				for v := range post {
+					p := wrong
+					if v == cl.c {
+						p = th
+					}
+					if p < floorP {
+						p = floorP
+					}
+					post[v] *= p
+				}
+				rescale(post)
+			}
+			normalize(post)
+			for i := range conf {
+				d := post[i] - conf[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDelta {
+					maxDelta = d
+				}
+				conf[i] = post[i]
+			}
+		}
+		hit := map[provider]float64{}
+		cnt := map[provider]int{}
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			conf := res.Confidence[o]
+			for _, cl := range claimsOf(ov) {
+				hit[cl.p] += conf[cl.c]
+				cnt[cl.p]++
+			}
+		}
+		for p := range theta {
+			if cnt[p] > 0 {
+				theta[p] = (hit[p] + 1) / (float64(cnt[p]) + 2)
+			}
+		}
+		if maxDelta < 1e-6 {
+			break
+		}
+	}
+	for p, t := range theta {
+		res.setTrust(p, t)
+	}
+	res.finalize(idx)
+	return res
+}

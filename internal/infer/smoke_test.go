@@ -1,0 +1,31 @@
+package infer
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/synth"
+)
+
+// TestSmokeShape is the first-line check of the reproduction's headline
+// shape: on the BirthPlaces-like dataset TDH must beat VOTE on Accuracy and
+// AvgDistance (Table 3's main claim).
+func TestSmokeShape(t *testing.T) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 42, Scale: 0.1})
+	idx := data.NewIndex(ds)
+	algs := []Inferencer{NewTDH(), Vote{}, LCA{}, ASUMS{}, DOCS{}, CRH{}, PopAccu{}, MDC{}}
+	scores := map[string]eval.Scores{}
+	for _, a := range algs {
+		res := a.Infer(idx)
+		sc := eval.Evaluate(ds, idx, res.Truths)
+		scores[a.Name()] = sc
+		t.Logf("%-8s acc=%.4f gen=%.4f dist=%.4f", a.Name(), sc.Accuracy, sc.GenAccuracy, sc.AvgDistance)
+	}
+	if scores["TDH"].Accuracy <= scores["VOTE"].Accuracy {
+		t.Errorf("TDH accuracy %.4f should beat VOTE %.4f", scores["TDH"].Accuracy, scores["VOTE"].Accuracy)
+	}
+	if scores["TDH"].AvgDistance >= scores["VOTE"].AvgDistance {
+		t.Errorf("TDH avg distance %.4f should beat VOTE %.4f", scores["TDH"].AvgDistance, scores["VOTE"].AvgDistance)
+	}
+}

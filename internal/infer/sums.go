@@ -1,0 +1,106 @@
+package infer
+
+import (
+	"math"
+
+	"repro/internal/data"
+)
+
+// Sums implements the Sums (Hubs-and-Authorities) fixpoint of Pasternack &
+// Roth (COLING 2010) — the flat algorithm that ASUMS [Beretta et al. 2016]
+// adapts to hierarchies. Belief flows from sources to their claimed values
+// and back, with max-normalization per iteration; no hierarchy awareness.
+// Included because it isolates how much of ASUMS's behaviour comes from the
+// hierarchy adaptation versus the underlying fixpoint.
+type Sums struct {
+	MaxIter int // default 50
+}
+
+// Name implements Inferencer.
+func (Sums) Name() string { return "SUMS" }
+
+// Infer implements Inferencer.
+func (su Sums) Infer(idx *data.Index) *Result {
+	if su.MaxIter == 0 {
+		su.MaxIter = 50
+	}
+	res := newResult(idx)
+	trust := map[provider]float64{}
+	counts := map[provider]int{}
+	for _, o := range idx.Objects {
+		for _, cl := range claimsOf(idx.View(o)) {
+			trust[cl.p] = 1
+			counts[cl.p]++
+		}
+	}
+	belief := make(map[string][]float64, len(idx.Objects))
+	for _, o := range idx.Objects {
+		belief[o] = make([]float64, idx.View(o).CI.NumValues())
+	}
+	for iter := 0; iter < su.MaxIter; iter++ {
+		maxB := 0.0
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			b := belief[o]
+			for i := range b {
+				b[i] = 0
+			}
+			for _, cl := range claimsOf(ov) {
+				b[cl.c] += trust[cl.p]
+			}
+			for _, x := range b {
+				if x > maxB {
+					maxB = x
+				}
+			}
+		}
+		if maxB == 0 {
+			maxB = 1
+		}
+		for _, b := range belief {
+			for i := range b {
+				b[i] /= maxB
+			}
+		}
+		// t(p) = Σ_{claims} B(claimed value), normalized by max (the
+		// original Sums fixpoint; trust scales with claim volume).
+		newTrust := map[provider]float64{}
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			b := belief[o]
+			for _, cl := range claimsOf(ov) {
+				newTrust[cl.p] += b[cl.c]
+			}
+		}
+		maxT := 0.0
+		for _, t := range newTrust {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		if maxT == 0 {
+			maxT = 1
+		}
+		delta := 0.0
+		for p := range trust {
+			nt := newTrust[p] / maxT
+			if d := math.Abs(nt - trust[p]); d > delta {
+				delta = d
+			}
+			trust[p] = nt
+		}
+		if delta < 1e-6 && iter > 0 {
+			break
+		}
+	}
+	for _, o := range idx.Objects {
+		conf := res.Confidence[o]
+		copy(conf, belief[o])
+		normalize(conf)
+	}
+	for p, t := range trust {
+		res.setTrust(p, t)
+	}
+	res.finalize(idx)
+	return res
+}

@@ -1,0 +1,49 @@
+package infer
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// TDH wraps the paper's hierarchical truth-inference model (internal/core)
+// behind the common Inferencer interface. Result.Model carries the fitted
+// *core.Model so the EAI assigner can reach the sufficient statistics.
+type TDH struct {
+	Opt core.Options
+}
+
+// NewTDH returns TDH with the paper's default hyperparameters.
+func NewTDH() TDH { return TDH{Opt: core.DefaultOptions()} }
+
+// Name implements Inferencer.
+func (t TDH) Name() string {
+	if t.Opt.FlatModel {
+		return "TDH-FLAT"
+	}
+	if t.Opt.UniformWorkerErrors {
+		return "TDH-NOPOP"
+	}
+	return "TDH"
+}
+
+// Infer implements Inferencer.
+func (t TDH) Infer(idx *data.Index) *Result {
+	m := core.Run(idx, t.Opt)
+	res := &Result{
+		Truths:      m.Truths(),
+		Confidence:  make(map[string][]float64, len(m.Mu)),
+		SourceTrust: make(map[string]float64, len(m.Phi)),
+		WorkerTrust: make(map[string]float64, len(m.Psi)),
+		Model:       m,
+	}
+	for o, mu := range m.Mu {
+		res.Confidence[o] = append([]float64(nil), mu...)
+	}
+	for s, phi := range m.Phi {
+		res.SourceTrust[s] = phi[0]
+	}
+	for w, psi := range m.Psi {
+		res.WorkerTrust[w] = psi[0]
+	}
+	return res
+}

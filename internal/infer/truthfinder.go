@@ -1,0 +1,123 @@
+package infer
+
+import (
+	"math"
+
+	"repro/internal/data"
+)
+
+// TruthFinder implements Yin, Han & Yu (TKDE 2008) — the classic iterative
+// truth-discovery algorithm cited in the paper's related work [36]. Source
+// trustworthiness t(s) and fact confidence s(f) reinforce each other:
+//
+//	τ(s)  = -ln(1 - t(s))                        (trust score)
+//	σ(f)  = Σ_{s claims f} τ(s)                  (+ implication term)
+//	s(f)  = 1 / (1 + e^{-γ σ(f)})                (confidence)
+//	t(s)  = mean of s(f) over the source's facts
+//
+// The implication term lets similar facts support each other; here two
+// facts imply each other positively when hierarchically related (ancestor/
+// descendant), which is the natural analogue of TruthFinder's similarity
+// for hierarchical values.
+type TruthFinder struct {
+	MaxIter int     // default 30
+	Gamma   float64 // dampening factor, default 0.3 (paper's setting)
+	Rho     float64 // implication weight, default 0.5
+	Init    float64 // initial source trust, default 0.9
+}
+
+// Name implements Inferencer.
+func (TruthFinder) Name() string { return "TRUTHFINDER" }
+
+// Infer implements Inferencer.
+func (tf TruthFinder) Infer(idx *data.Index) *Result {
+	if tf.MaxIter == 0 {
+		tf.MaxIter = 30
+	}
+	if tf.Gamma == 0 {
+		tf.Gamma = 0.3
+	}
+	if tf.Rho == 0 {
+		tf.Rho = 0.5
+	}
+	if tf.Init == 0 {
+		tf.Init = 0.9
+	}
+	res := newResult(idx)
+	trust := map[provider]float64{}
+	for _, o := range idx.Objects {
+		for _, cl := range claimsOf(idx.View(o)) {
+			trust[cl.p] = tf.Init
+		}
+	}
+	conf := make(map[string][]float64, len(idx.Objects)) // s(f) per candidate
+	for _, o := range idx.Objects {
+		conf[o] = make([]float64, idx.View(o).CI.NumValues())
+	}
+	tau := func(t float64) float64 {
+		if t > 0.999999 {
+			t = 0.999999
+		}
+		if t < 1e-9 {
+			t = 1e-9
+		}
+		return -math.Log(1 - t)
+	}
+	for iter := 0; iter < tf.MaxIter; iter++ {
+		// Fact confidence from source trust scores.
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			sigma := make([]float64, ov.CI.NumValues())
+			for _, cl := range claimsOf(ov) {
+				sigma[cl.c] += tau(trust[cl.p])
+			}
+			// Implication: hierarchically related facts lend ρ-weighted
+			// support to each other.
+			adj := make([]float64, len(sigma))
+			copy(adj, sigma)
+			for v := range sigma {
+				for _, a := range ov.CI.Anc[v] {
+					adj[v] += tf.Rho * sigma[a]
+					adj[a] += tf.Rho * sigma[v]
+				}
+			}
+			for v := range adj {
+				conf[o][v] = 1 / (1 + math.Exp(-tf.Gamma*adj[v]))
+			}
+		}
+		// Source trust from fact confidences.
+		sum := map[provider]float64{}
+		cnt := map[provider]int{}
+		for _, o := range idx.Objects {
+			ov := idx.View(o)
+			for _, cl := range claimsOf(ov) {
+				sum[cl.p] += conf[o][cl.c]
+				cnt[cl.p]++
+			}
+		}
+		delta := 0.0
+		for p := range trust {
+			if cnt[p] == 0 {
+				continue
+			}
+			nt := sum[p] / float64(cnt[p])
+			if d := math.Abs(nt - trust[p]); d > delta {
+				delta = d
+			}
+			trust[p] = nt
+		}
+		if delta < 1e-6 && iter > 0 {
+			break
+		}
+	}
+	for _, o := range idx.Objects {
+		c := res.Confidence[o]
+		copy(c, conf[o])
+		normalize(c)
+	}
+	for p, t := range trust {
+		res.setTrust(p, t)
+	}
+	res.finalize(idx)
+	return res
+}

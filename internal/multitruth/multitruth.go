@@ -1,0 +1,85 @@
+// Package multitruth implements the multi-truth discovery algorithms the
+// paper compares against in Section 5.7 — LTM, DART and LFC-MT — plus the
+// adapter that turns any single-truth result into a multi-truth answer set
+// (the value and its ancestors).
+package multitruth
+
+import (
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// Discoverer is a multi-truth discovery algorithm: it outputs, per object,
+// the SET of values it believes true.
+type Discoverer interface {
+	Name() string
+	Discover(idx *data.Index) map[string][]string
+}
+
+// FromSingleTruth adapts a single-truth inferencer: the estimated truth
+// plus all its proper ancestors form the multi-truth set (the evaluation
+// protocol of Section 5.7).
+type FromSingleTruth struct {
+	Inf infer.Inferencer
+}
+
+// Name implements Discoverer.
+func (f FromSingleTruth) Name() string { return f.Inf.Name() }
+
+// Discover implements Discoverer.
+func (f FromSingleTruth) Discover(idx *data.Index) map[string][]string {
+	res := f.Inf.Infer(idx)
+	out := make(map[string][]string, len(res.Truths))
+	for o, v := range res.Truths {
+		set := []string{v}
+		// Emit only ancestors that are themselves candidate values: a
+		// multi-truth answer is a subset of the claimed values, and
+		// unclaimed closure levels are not answerable by any algorithm.
+		if ov := idx.View(o); ov != nil {
+			if vi, ok := ov.CI.Pos[v]; ok {
+				for _, ai := range ov.CI.Anc[vi] {
+					set = append(set, ov.CI.Values[ai])
+				}
+			}
+		}
+		out[o] = set
+	}
+	return out
+}
+
+// claimersOf returns, for one object view, the boolean claim matrix:
+// providers × candidate values (true where the provider claimed the value
+// or, when closure is set, an ancestor-closed version where claiming v also
+// claims every candidate ancestor of v).
+func claimersOf(ov *data.ObjectView, closure bool) (providers []string, claims [][]bool) {
+	type cl struct {
+		name string
+		c    int
+	}
+	var cls []cl
+	for s, c := range ov.SourceClaims {
+		cls = append(cls, cl{"s:" + s, c})
+	}
+	for w, c := range ov.WorkerClaims {
+		cls = append(cls, cl{"w:" + w, c})
+	}
+	// Deterministic order.
+	for i := 1; i < len(cls); i++ {
+		for j := i; j > 0 && cls[j].name < cls[j-1].name; j-- {
+			cls[j], cls[j-1] = cls[j-1], cls[j]
+		}
+	}
+	n := ov.CI.NumValues()
+	for _, c := range cls {
+		row := make([]bool, n)
+		row[c.c] = true
+		if closure {
+			for _, a := range ov.CI.Anc[c.c] {
+				row[a] = true
+			}
+		}
+		providers = append(providers, c.name)
+		claims = append(claims, row)
+	}
+	return providers, claims
+}

@@ -1,0 +1,139 @@
+package multitruth
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/hierarchy"
+	"repro/internal/infer"
+	"repro/internal/synth"
+)
+
+func geoTree(t testing.TB) *hierarchy.Tree {
+	t.Helper()
+	tr := hierarchy.New(hierarchy.Root)
+	for _, e := range [][2]string{
+		{"USA", hierarchy.Root}, {"UK", hierarchy.Root},
+		{"NY", "USA"}, {"LA", "USA"}, {"LibertyIsland", "NY"},
+		{"London", "UK"}, {"Manchester", "UK"},
+	} {
+		tr.MustAdd(e[0], e[1])
+	}
+	tr.Freeze()
+	return tr
+}
+
+// agreementDataset: several objects where a clear majority supports one
+// value — any multi-truth algorithm should include it.
+func agreementDataset(t testing.TB) *data.Dataset {
+	t.Helper()
+	ds := &data.Dataset{Name: "mt", Truth: map[string]string{}, Domains: map[string]string{}, H: geoTree(t)}
+	for i := 0; i < 6; i++ {
+		o := "x" + string(rune('0'+i))
+		ds.Records = append(ds.Records,
+			data.Record{Object: o, Source: "a", Value: "NY"},
+			data.Record{Object: o, Source: "b", Value: "NY"},
+			data.Record{Object: o, Source: "c", Value: "NY"},
+			data.Record{Object: o, Source: "d", Value: "LA"},
+			data.Record{Object: o, Source: "e", Value: "USA"}, // generalizer
+		)
+		ds.Truth[o] = "NY"
+		ds.Domains[o] = "USA"
+	}
+	return ds
+}
+
+func TestFromSingleTruthClosure(t *testing.T) {
+	ds := agreementDataset(t)
+	idx := data.NewIndex(ds)
+	d := FromSingleTruth{Inf: infer.Vote{}}
+	pred := d.Discover(idx)
+	got := append([]string(nil), pred["x0"]...)
+	sort.Strings(got)
+	// NY plus its proper ancestors below the root: {NY, USA}.
+	if len(got) != 2 || got[0] != "NY" || got[1] != "USA" {
+		t.Fatalf("closure = %v", got)
+	}
+	if d.Name() != "VOTE" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestDiscoverersFindMajorityTruth(t *testing.T) {
+	ds := agreementDataset(t)
+	idx := data.NewIndex(ds)
+	for _, d := range []Discoverer{LFCMT{}, DART{}, LTM{Seed: 1}} {
+		pred := d.Discover(idx)
+		for o := range ds.Truth {
+			found := false
+			for _, v := range pred[o] {
+				if v == "NY" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: %s missing the majority value NY (got %v)", d.Name(), o, pred[o])
+			}
+			if len(pred[o]) == 0 {
+				t.Errorf("%s: %s has an empty prediction", d.Name(), o)
+			}
+		}
+	}
+}
+
+func TestDARTRecallBias(t *testing.T) {
+	// DART's design accepts many values (near-perfect recall, weak
+	// precision in the paper's Table 5). On ancestor-closed claims it must
+	// recall both the value and its ancestor.
+	ds := agreementDataset(t)
+	idx := data.NewIndex(ds)
+	pred := DART{}.Discover(idx)
+	prf := eval.EvaluateMulti(ds, idx, pred)
+	if prf.Recall < 0.6 {
+		t.Fatalf("DART recall = %v, want high", prf.Recall)
+	}
+}
+
+func TestLTMDeterministicUnderSeed(t *testing.T) {
+	ds := agreementDataset(t)
+	idx := data.NewIndex(ds)
+	a := LTM{Seed: 42, BurnIn: 30, Samples: 30}.Discover(idx)
+	b := LTM{Seed: 42, BurnIn: 30, Samples: 30}.Discover(idx)
+	for o := range ds.Truth {
+		sort.Strings(a[o])
+		sort.Strings(b[o])
+		if len(a[o]) != len(b[o]) {
+			t.Fatalf("LTM not deterministic on %s", o)
+		}
+		for i := range a[o] {
+			if a[o][i] != b[o][i] {
+				t.Fatalf("LTM not deterministic on %s", o)
+			}
+		}
+	}
+}
+
+func TestTable5ShapeOnSynthetic(t *testing.T) {
+	// On the BirthPlaces-like dataset, TDH (via closure) must beat the
+	// dedicated multi-truth baselines on F1 — the Table 5 headline.
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 11, Scale: 0.05})
+	idx := data.NewIndex(ds)
+	f1 := map[string]float64{}
+	algs := []Discoverer{
+		FromSingleTruth{Inf: infer.NewTDH()},
+		LFCMT{},
+		DART{},
+		LTM{Seed: 11, BurnIn: 40, Samples: 40},
+	}
+	for _, d := range algs {
+		prf := eval.EvaluateMulti(ds, idx, d.Discover(idx))
+		f1[d.Name()] = prf.F1
+	}
+	for _, base := range []string{"LFC-MT", "DART", "LTM"} {
+		if f1["TDH"] <= f1[base] {
+			t.Errorf("TDH F1 %v should beat %s F1 %v", f1["TDH"], base, f1[base])
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package numeric implements the numeric truth-discovery algorithms of the
+// paper's Table 6 — CRH (continuous loss), CATD, MEAN and VOTE — which are
+// compared against TDH's implicit-hierarchy extension (internal/core) and
+// the categorical baselines run on canonicalized numeric labels.
+package numeric
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/data"
+)
+
+// Estimator is a numeric truth-discovery algorithm.
+type Estimator interface {
+	Name() string
+	Estimate(records []data.Record) map[string]float64
+}
+
+// table groups parsed numeric claims per object and per source.
+type table struct {
+	objects []string
+	claims  map[string][]claim // object -> claims
+	sources []string
+	bySrc   map[string][]objVal
+}
+
+type claim struct {
+	src string
+	v   float64
+}
+
+type objVal struct {
+	o string
+	v float64
+}
+
+func buildTable(records []data.Record) *table {
+	t := &table{claims: map[string][]claim{}, bySrc: map[string][]objVal{}}
+	seenO := map[string]bool{}
+	seenS := map[string]bool{}
+	for _, r := range records {
+		v, err := strconv.ParseFloat(r.Value, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		t.claims[r.Object] = append(t.claims[r.Object], claim{r.Source, v})
+		t.bySrc[r.Source] = append(t.bySrc[r.Source], objVal{r.Object, v})
+		if !seenO[r.Object] {
+			seenO[r.Object] = true
+			t.objects = append(t.objects, r.Object)
+		}
+		if !seenS[r.Source] {
+			seenS[r.Source] = true
+			t.sources = append(t.sources, r.Source)
+		}
+	}
+	sort.Strings(t.objects)
+	sort.Strings(t.sources)
+	return t
+}
+
+// Mean is the averaging baseline MEAN — maximally sensitive to outliers.
+type Mean struct{}
+
+// Name implements Estimator.
+func (Mean) Name() string { return "MEAN" }
+
+// Estimate implements Estimator.
+func (Mean) Estimate(records []data.Record) map[string]float64 {
+	t := buildTable(records)
+	out := make(map[string]float64, len(t.objects))
+	for _, o := range t.objects {
+		s := 0.0
+		for _, c := range t.claims[o] {
+			s += c.v
+		}
+		out[o] = s / float64(len(t.claims[o]))
+	}
+	return out
+}
+
+// Median is the robust midpoint baseline (not in Table 6 but a useful
+// reference and an ingredient of CATD/CRH initialization).
+type Median struct{}
+
+// Name implements Estimator.
+func (Median) Name() string { return "MEDIAN" }
+
+// Estimate implements Estimator.
+func (Median) Estimate(records []data.Record) map[string]float64 {
+	t := buildTable(records)
+	out := make(map[string]float64, len(t.objects))
+	for _, o := range t.objects {
+		out[o] = median(t.claims[o])
+	}
+	return out
+}
+
+func median(cs []claim) float64 {
+	vs := make([]float64, len(cs))
+	for i, c := range cs {
+		vs[i] = c.v
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// Vote is majority vote on the exact claim strings: the most frequent
+// claimed value wins; ties break toward the value closest to the median.
+type Vote struct{}
+
+// Name implements Estimator.
+func (Vote) Name() string { return "VOTE" }
+
+// Estimate implements Estimator.
+func (Vote) Estimate(records []data.Record) map[string]float64 {
+	t := buildTable(records)
+	out := make(map[string]float64, len(t.objects))
+	for _, o := range t.objects {
+		counts := map[float64]int{}
+		for _, c := range t.claims[o] {
+			counts[c.v]++
+		}
+		med := median(t.claims[o])
+		best, bestN, bestD := math.NaN(), -1, math.Inf(1)
+		for v, n := range counts {
+			d := math.Abs(v - med)
+			if n > bestN || (n == bestN && d < bestD) {
+				best, bestN, bestD = v, n, d
+			}
+		}
+		out[o] = best
+	}
+	return out
+}

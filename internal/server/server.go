@@ -1,0 +1,328 @@
+// Package server implements the crowdsourcing service the paper's
+// Section 5.5 experiments ran on ("our own crowdsourcing system"): an HTTP
+// API that serves truth-discovery tasks to workers, collects their answers,
+// and re-runs inference + task assignment as the campaign progresses.
+//
+// Endpoints (all JSON):
+//
+//	GET  /task?worker=ID      fetch up to K assigned questions for a worker
+//	POST /answer              submit {"worker","object","value"}
+//	GET  /truths              current inferred truths
+//	GET  /confidence?object=O confidence distribution of one object
+//	GET  /trust               per-source and per-worker trust estimates
+//	GET  /stats               campaign statistics (+quality if gold known)
+//	POST /refresh             force re-inference immediately
+//
+// Inference is re-run lazily: answers mark the state dirty and the next
+// read endpoint triggers a refit. An optional append-only answer log makes
+// campaigns durable across restarts (see internal/answerlog).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/assign"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/infer"
+)
+
+// AnswerSink receives accepted answers for durable storage.
+type AnswerSink interface {
+	Append(a data.Answer) error
+}
+
+// Config wires a Server.
+type Config struct {
+	Dataset    *data.Dataset
+	Inferencer infer.Inferencer
+	Assigner   assign.Assigner
+	// K is the number of questions handed out per /task call (default 5,
+	// the paper's setting).
+	K int
+	// Log, when non-nil, receives every accepted answer.
+	Log AnswerSink
+	// Seed drives the assigner's sampling.
+	Seed int64
+}
+
+// Server is the crowdsourcing coordinator. All state transitions hold mu;
+// inference runs inside the lock (campaign datasets are small — the
+// paper's rounds take seconds).
+type Server struct {
+	mu      sync.Mutex
+	cfg     Config
+	work    *data.Dataset
+	idx     *data.Index
+	res     *infer.Result
+	dirty   bool
+	round   int64
+	answers int
+	// pending tracks tasks handed to a worker and not yet answered, so
+	// repeated /task calls are idempotent until answers arrive.
+	pending map[string][]string
+}
+
+// New builds a Server and runs the initial inference.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dataset == nil {
+		return nil, errors.New("server: nil dataset")
+	}
+	if cfg.Inferencer == nil {
+		return nil, errors.New("server: nil inferencer")
+	}
+	if cfg.Assigner == nil {
+		return nil, errors.New("server: nil assigner")
+	}
+	if cfg.K == 0 {
+		cfg.K = 5
+	}
+	s := &Server{
+		cfg:     cfg,
+		work:    cfg.Dataset.Clone(),
+		pending: map[string][]string{},
+		dirty:   true,
+	}
+	s.refreshLocked()
+	return s, nil
+}
+
+// refreshLocked re-indexes and re-fits; callers hold mu (or are in New).
+func (s *Server) refreshLocked() {
+	s.idx = data.NewIndex(s.work)
+	s.res = s.cfg.Inferencer.Infer(s.idx)
+	s.dirty = false
+	s.round++
+}
+
+func (s *Server) ensureFresh() {
+	if s.dirty {
+		s.refreshLocked()
+	}
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /task", s.handleTask)
+	mux.HandleFunc("POST /answer", s.handleAnswer)
+	mux.HandleFunc("GET /truths", s.handleTruths)
+	mux.HandleFunc("GET /confidence", s.handleConfidence)
+	mux.HandleFunc("GET /trust", s.handleTrust)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /refresh", s.handleRefresh)
+	return mux
+}
+
+// Task is one question handed to a worker: the object and its candidate
+// values (the worker selects one, per the paper's problem setting).
+type Task struct {
+	Object     string   `json:"object"`
+	Candidates []string `json:"candidates"`
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		httpError(w, http.StatusBadRequest, "missing worker parameter")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+
+	objs := s.pending[worker]
+	if len(objs) == 0 {
+		ctx := &assign.Context{
+			Idx:     s.idx,
+			Res:     s.res,
+			Workers: []string{worker},
+			K:       s.cfg.K,
+			Seed:    s.cfg.Seed + s.round,
+		}
+		objs = s.cfg.Assigner.Assign(ctx)[worker]
+		s.pending[worker] = objs
+	}
+	tasks := make([]Task, 0, len(objs))
+	for _, o := range objs {
+		ov := s.idx.View(o)
+		if ov == nil {
+			continue
+		}
+		tasks = append(tasks, Task{Object: o, Candidates: append([]string(nil), ov.CI.Values...)})
+	}
+	writeJSON(w, map[string]any{"worker": worker, "tasks": tasks})
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var a data.Answer
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if a.Worker == "" || a.Object == "" || a.Value == "" {
+		httpError(w, http.StatusBadRequest, "worker, object and value are required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ov := s.idx.View(a.Object)
+	if ov == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", a.Object))
+		return
+	}
+	if _, ok := ov.CI.Pos[a.Value]; !ok {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("value %q is not a candidate for %q", a.Value, a.Object))
+		return
+	}
+	if s.cfg.Log != nil {
+		if err := s.cfg.Log.Append(a); err != nil {
+			httpError(w, http.StatusInternalServerError, "answer log: "+err.Error())
+			return
+		}
+	}
+	s.work.Answers = append(s.work.Answers, a)
+	s.answers++
+	s.dirty = true
+	// Clear the answered task from the worker's pending list.
+	pend := s.pending[a.Worker]
+	for i, o := range pend {
+		if o == a.Object {
+			s.pending[a.Worker] = append(pend[:i], pend[i+1:]...)
+			break
+		}
+	}
+	if len(s.pending[a.Worker]) == 0 {
+		delete(s.pending, a.Worker)
+	}
+	writeJSON(w, map[string]any{"accepted": true, "answers": s.answers})
+}
+
+func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+	writeJSON(w, s.res.Truths)
+}
+
+func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
+	object := r.URL.Query().Get("object")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+	ov := s.idx.View(object)
+	if ov == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", object))
+		return
+	}
+	conf := s.res.Confidence[object]
+	out := make(map[string]float64, len(conf))
+	for i, v := range ov.CI.Values {
+		out[v] = conf[i]
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+	writeJSON(w, map[string]any{
+		"sources": s.res.SourceTrust,
+		"workers": s.res.WorkerTrust,
+	})
+}
+
+// Stats is the campaign status payload.
+type Stats struct {
+	Objects     int     `json:"objects"`
+	Records     int     `json:"records"`
+	Answers     int     `json:"answers"`
+	Rounds      int64   `json:"inference_runs"`
+	Inference   string  `json:"inference"`
+	Assignment  string  `json:"assignment"`
+	Accuracy    float64 `json:"accuracy,omitempty"`
+	GenAccuracy float64 `json:"gen_accuracy,omitempty"`
+	AvgDistance float64 `json:"avg_distance,omitempty"`
+	HasGold     bool    `json:"has_gold"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+	st := Stats{
+		Objects:    s.idx.NumObjects(),
+		Records:    len(s.work.Records),
+		Answers:    s.answers,
+		Rounds:     s.round,
+		Inference:  s.cfg.Inferencer.Name(),
+		Assignment: s.cfg.Assigner.Name(),
+		HasGold:    len(s.work.Truth) > 0,
+	}
+	if st.HasGold {
+		sc := eval.Evaluate(s.work, s.idx, s.res.Truths)
+		st.Accuracy = sc.Accuracy
+		st.GenAccuracy = sc.GenAccuracy
+		st.AvgDistance = sc.AvgDistance
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	writeJSON(w, map[string]any{"refreshed": true, "inference_runs": s.round})
+}
+
+// Answers returns a copy of the collected crowd answers (for tests and
+// campaign export).
+func (s *Server) Answers() []data.Answer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := len(s.cfg.Dataset.Answers)
+	return append([]data.Answer(nil), s.work.Answers[base:]...)
+}
+
+// Truths returns the current inferred truths sorted by object, refreshing
+// if needed (programmatic twin of GET /truths).
+func (s *Server) Truths() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureFresh()
+	out := make(map[string]string, len(s.res.Truths))
+	for k, v := range s.res.Truths {
+		out[k] = v
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// SortedObjects lists the campaign's objects (stable order), for clients
+// that page through the corpus.
+func (s *Server) SortedObjects() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.idx.Objects...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/data"
+	"repro/internal/infer"
+	"repro/internal/synth"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *data.Dataset) {
+	t.Helper()
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 3, Scale: 0.06})
+	s, err := New(Config{
+		Dataset:    ds,
+		Inferencer: infer.NewTDH(),
+		Assigner:   assign.EAI{},
+		K:          3,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, ds
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, payload any) *http.Response {
+	t.Helper()
+	buf, _ := json.Marshal(payload)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil dataset must fail")
+	}
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 1, Scale: 0.05})
+	if _, err := New(Config{Dataset: ds}); err == nil {
+		t.Fatal("nil inferencer must fail")
+	}
+	if _, err := New(Config{Dataset: ds, Inferencer: infer.Vote{}}); err == nil {
+		t.Fatal("nil assigner must fail")
+	}
+}
+
+func TestTaskAnswerFlow(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	// Fetch tasks for a worker.
+	var taskResp struct {
+		Worker string `json:"worker"`
+		Tasks  []Task `json:"tasks"`
+	}
+	getJSON(t, ts.URL+"/task?worker=w1", &taskResp)
+	if taskResp.Worker != "w1" || len(taskResp.Tasks) == 0 || len(taskResp.Tasks) > 3 {
+		t.Fatalf("tasks = %+v", taskResp)
+	}
+	for _, task := range taskResp.Tasks {
+		if len(task.Candidates) == 0 {
+			t.Fatalf("task without candidates: %+v", task)
+		}
+	}
+	// Idempotent until answered.
+	var again struct {
+		Tasks []Task `json:"tasks"`
+	}
+	getJSON(t, ts.URL+"/task?worker=w1", &again)
+	if len(again.Tasks) != len(taskResp.Tasks) || again.Tasks[0].Object != taskResp.Tasks[0].Object {
+		t.Fatal("repeated /task must return the same pending assignment")
+	}
+
+	// Answer the first task.
+	first := taskResp.Tasks[0]
+	resp := postJSON(t, ts.URL+"/answer", data.Answer{
+		Worker: "w1", Object: first.Object, Value: first.Candidates[0],
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("answer status %d", resp.StatusCode)
+	}
+
+	// Stats reflect the answer.
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Answers != 1 {
+		t.Fatalf("answers = %d", st.Answers)
+	}
+	if !st.HasGold || st.Accuracy == 0 {
+		t.Fatalf("stats missing quality: %+v", st)
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/answer", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Missing fields.
+	if got := postJSON(t, ts.URL+"/answer", data.Answer{Worker: "w"}); got.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", got.StatusCode)
+	}
+	// Unknown object.
+	if got := postJSON(t, ts.URL+"/answer", data.Answer{Worker: "w", Object: "ghost", Value: "v"}); got.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", got.StatusCode)
+	}
+	// Non-candidate value.
+	s, _, _ := newServerForObjects(t)
+	obj := s.SortedObjects()[0]
+	_, ts2, _ := newTestServer(t)
+	if got := postJSON(t, ts2.URL+"/answer", data.Answer{Worker: "w", Object: obj, Value: "definitely-not-a-candidate"}); got.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", got.StatusCode)
+	}
+}
+
+func newServerForObjects(t *testing.T) (*Server, *httptest.Server, *data.Dataset) {
+	return newTestServer(t)
+}
+
+func TestTruthsConfidenceTrust(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	var truths map[string]string
+	getJSON(t, ts.URL+"/truths", &truths)
+	if len(truths) != len(s.SortedObjects()) {
+		t.Fatalf("truths = %d objects", len(truths))
+	}
+	obj := s.SortedObjects()[0]
+	var conf map[string]float64
+	getJSON(t, ts.URL+"/confidence?object="+obj, &conf)
+	sum := 0.0
+	for _, p := range conf {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("confidence not normalized: %v", conf)
+	}
+	if resp := getJSON(t, ts.URL+"/confidence?object=ghost", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var trust struct {
+		Sources map[string]float64 `json:"sources"`
+		Workers map[string]float64 `json:"workers"`
+	}
+	getJSON(t, ts.URL+"/trust", &trust)
+	if len(trust.Sources) == 0 {
+		t.Fatal("no source trust")
+	}
+}
+
+func TestMissingWorkerParam(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/task", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var out struct {
+		Refreshed bool  `json:"refreshed"`
+		Runs      int64 `json:"inference_runs"`
+	}
+	resp, err := http.Post(ts.URL+"/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Refreshed || out.Runs < 2 {
+		t.Fatalf("refresh = %+v", out)
+	}
+}
+
+// TestCampaignImprovesAccuracy drives a full simulated campaign through the
+// HTTP API: simulated workers poll /task, answer per their accuracy, and
+// the campaign accuracy must improve — the end-to-end version of the
+// paper's Section 5.5 experiment.
+func TestCampaignImprovesAccuracy(t *testing.T) {
+	s, ts, ds := newTestServer(t)
+	pool := synth.NewWorkerPool(synth.WorkerPoolConfig{Seed: 3, Count: 8, Pi: 0.85})
+	rng := rand.New(rand.NewSource(99))
+
+	var st0 Stats
+	getJSON(t, ts.URL+"/stats", &st0)
+
+	idx := data.NewIndex(ds)
+	for round := 0; round < 6; round++ {
+		for _, w := range pool {
+			var taskResp struct {
+				Tasks []Task `json:"tasks"`
+			}
+			getJSON(t, ts.URL+fmt.Sprintf("/task?worker=%s", w.Name), &taskResp)
+			for _, task := range taskResp.Tasks {
+				ov := idx.View(task.Object)
+				if ov == nil {
+					continue
+				}
+				ans := w.Answer(rng, ds, ov)
+				postJSON(t, ts.URL+"/answer", data.Answer{Worker: w.Name, Object: task.Object, Value: ans})
+			}
+		}
+	}
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Answers == 0 {
+		t.Fatal("campaign collected no answers")
+	}
+	if st.Accuracy <= st0.Accuracy {
+		t.Fatalf("campaign should improve accuracy: %v -> %v", st0.Accuracy, st.Accuracy)
+	}
+	if got := len(s.Answers()); got != st.Answers {
+		t.Fatalf("Answers() = %d, stats = %d", got, st.Answers)
+	}
+}
+
+// TestConcurrentAnswers exercises the mutex: parallel answer submissions
+// must all be accepted exactly once.
+func TestConcurrentAnswers(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	objs := s.SortedObjects()
+	var wg sync.WaitGroup
+	n := 16
+	if len(objs) < n {
+		n = len(objs)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj := objs[i]
+			var conf map[string]float64
+			getJSON(t, ts.URL+"/confidence?object="+obj, &conf)
+			for v := range conf {
+				postJSON(t, ts.URL+"/answer", data.Answer{
+					Worker: fmt.Sprintf("cw-%d", i), Object: obj, Value: v,
+				})
+				break
+			}
+		}(i)
+	}
+	wg.Wait()
+	var st Stats
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Answers != n {
+		t.Fatalf("answers = %d, want %d", st.Answers, n)
+	}
+}

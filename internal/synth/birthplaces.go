@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+)
+
+// BirthPlacesConfig parameterizes the BirthPlaces-like generator. The
+// defaults reproduce the paper's statistics: 6,005 objects, 7 sources with
+// the per-source claim counts of Figure 5 (5975, 5272, 605, 340, 532, 399,
+// 387 — 13,510 records total), a ~5,000-node height-5 geographic hierarchy
+// and weighted mean source accuracy ≈ 72%.
+type BirthPlacesConfig struct {
+	Seed int64
+	// Scale shrinks the dataset (objects and claim counts) for fast tests;
+	// 1.0 reproduces the paper-sized dataset.
+	Scale float64
+	// Sources overrides the default source profiles when non-nil.
+	Sources []SourceProfile
+}
+
+// DefaultBirthPlacesSources mirrors Figure 5: two big, fairly accurate
+// sources; five small sources, three of which (4, 5, 7) generalize heavily —
+// exactly the sources whose reliability ASUMS underestimates.
+func DefaultBirthPlacesSources() []SourceProfile {
+	return []SourceProfile{
+		{Name: "src-1", Claims: 5975, PExact: 0.72, PGen: 0.16, PWrong: 0.12},
+		{Name: "src-2", Claims: 5272, PExact: 0.76, PGen: 0.08, PWrong: 0.16},
+		{Name: "src-3", Claims: 605, PExact: 0.84, PGen: 0.09, PWrong: 0.07},
+		{Name: "src-4", Claims: 340, PExact: 0.55, PGen: 0.35, PWrong: 0.10},
+		{Name: "src-5", Claims: 532, PExact: 0.62, PGen: 0.28, PWrong: 0.10},
+		{Name: "src-6", Claims: 399, PExact: 0.70, PGen: 0.10, PWrong: 0.20},
+		{Name: "src-7", Claims: 387, PExact: 0.58, PGen: 0.32, PWrong: 0.10},
+	}
+}
+
+// BirthPlaces generates the BirthPlaces-like dataset.
+func BirthPlaces(cfg BirthPlacesConfig) *data.Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	profiles := cfg.Sources
+	if profiles == nil {
+		profiles = DefaultBirthPlacesSources()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+
+	// ~5,000 nodes, height 5: 5 continents × 8 countries × 6 regions ×
+	// 5 cities × 3 districts (with jitter) ≈ 5085 nodes.
+	tree := Geo(GeoConfig{Seed: cfg.Seed + 1, Fanouts: []int{5, 8, 6, 5, 3}, Jitter: 0.05, Prefix: "bp:"})
+
+	nObjects := int(6005 * cfg.Scale)
+	if nObjects < 10 {
+		nObjects = 10
+	}
+	ds := &data.Dataset{
+		Name:    "BirthPlaces",
+		Truth:   make(map[string]string, nObjects),
+		Domains: make(map[string]string, nObjects),
+		H:       tree,
+	}
+
+	// Birthplaces are mostly cities (depth 4) with some districts (depth 5)
+	// and some only-known-to-region truths (depth 3).
+	deep := DeepNodes(tree, 3)
+	objects := make([]string, nObjects)
+	for i := range objects {
+		o := fmt.Sprintf("celebrity-%04d", i)
+		objects[i] = o
+		truth := deep[rng.Intn(len(deep))]
+		ds.Truth[o] = truth
+		ds.Domains[o] = topAncestor(tree, truth)
+	}
+	allNodes := nonRootNodes(tree)
+	distractors := make(map[string]string, nObjects)
+	for _, o := range objects {
+		distractors[o] = pickDistractor(rng, tree, ds.Truth[o], allNodes)
+	}
+	for _, p := range profiles {
+		n := int(float64(p.Claims) * cfg.Scale)
+		if n < 1 {
+			n = 1
+		}
+		objs := coverage(rng, objects, n)
+		emitRecords(rng, tree, ds, p, objs, distractors, allNodes, 0.6)
+	}
+	anchorRecords(rng, tree, ds, "src-anchor", objects)
+	return ds
+}
+
+func nonRootNodes(t interface {
+	Nodes() []string
+	Root() string
+}) []string {
+	var out []string
+	for _, n := range t.Nodes() {
+		if n != t.Root() {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package synth generates the synthetic stand-ins for the paper's datasets
+// (BirthPlaces, Heritages, the stock dataset) and the simulated crowd
+// workers. Everything is seeded and deterministic; see DESIGN.md §2 for the
+// substitution rationale.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hierarchy"
+)
+
+// GeoConfig shapes a synthetic geographic hierarchy: Fanouts[i] children
+// per node at depth i. The tree height equals len(Fanouts); Jitter removes
+// a random fraction of the deepest subtrees so the tree is not perfectly
+// regular (real hierarchies are ragged).
+type GeoConfig struct {
+	Seed    int64
+	Fanouts []int
+	// Jitter in [0,1): probability of pruning each deepest-level node.
+	Jitter float64
+	// Prefix namespaces node labels so hierarchies from different datasets
+	// cannot collide.
+	Prefix string
+}
+
+// levelNames gives human-readable level labels for geographic trees.
+var levelNames = []string{"continent", "country", "region", "city", "district", "site", "spot"}
+
+// Geo builds the hierarchy. Node labels look like "bp:city-3.2.0.1" — the
+// dotted path encodes the position, making ancestor relations readable in
+// test failures.
+func Geo(cfg GeoConfig) *hierarchy.Tree {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := hierarchy.New(hierarchy.Root)
+	type node struct {
+		label string
+		path  string
+	}
+	frontier := []node{{label: hierarchy.Root, path: ""}}
+	for depth, fan := range cfg.Fanouts {
+		name := levelNames[depth%len(levelNames)]
+		var next []node
+		for _, p := range frontier {
+			for c := 0; c < fan; c++ {
+				last := depth == len(cfg.Fanouts)-1
+				if last && cfg.Jitter > 0 && rng.Float64() < cfg.Jitter {
+					continue
+				}
+				path := fmt.Sprintf("%s.%d", p.path, c)
+				if p.path == "" {
+					path = fmt.Sprintf("%d", c)
+				}
+				label := fmt.Sprintf("%s%s-%s", cfg.Prefix, name, path)
+				t.MustAdd(label, p.label)
+				next = append(next, node{label: label, path: path})
+			}
+		}
+		frontier = next
+	}
+	t.Freeze()
+	return t
+}
+
+// DeepNodes returns nodes at depth >= minDepth, sorted, as candidates for
+// ground truths.
+func DeepNodes(t *hierarchy.Tree, minDepth int) []string {
+	var out []string
+	for _, n := range t.Nodes() {
+		if n == t.Root() {
+			continue
+		}
+		if t.Depth(n) >= minDepth {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/hierarchy"
+)
+
+// StockConfig parameterizes the numeric stock-quotes generator standing in
+// for the dataset of Li et al. [23]: trading attributes of Symbols stock
+// symbols reported by Sources websites, each rounding to its preferred
+// number of significant digits, with a minority of erroneous or outlier
+// sources. Attribute generators mirror the paper's three attributes.
+type StockConfig struct {
+	Seed    int64
+	Symbols int // default 1000
+	Sources int // default 55
+	// OutlierSources is the number of sources reporting wild values
+	// (default 3); TDH/medians must shrug these off while MEAN cannot.
+	OutlierSources int
+}
+
+// StockAttribute is one generated numeric truth-discovery instance.
+type StockAttribute struct {
+	Name    string
+	Records []data.Record
+	Gold    map[string]float64 // object -> true value
+}
+
+// Stock generates the three attributes of Table 6: change rate, open price
+// and EPS.
+func Stock(cfg StockConfig) []StockAttribute {
+	if cfg.Symbols == 0 {
+		cfg.Symbols = 1000
+	}
+	if cfg.Sources == 0 {
+		cfg.Sources = 55
+	}
+	if cfg.OutlierSources == 0 {
+		cfg.OutlierSources = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 303))
+
+	attrs := []struct {
+		name string
+		gen  func() float64
+	}{
+		{"change-rate", func() float64 { return rng.NormFloat64() * 0.02 }},
+		{"open-price", func() float64 { return 5 + rng.Float64()*495 }},
+		{"eps", func() float64 { return 0.05 + rng.Float64()*9.95 }},
+	}
+
+	// Per-source behaviour shared across attributes: preferred precision,
+	// error rate, outlier flag.
+	type srcBehaviour struct {
+		name      string
+		sigDigits int
+		errRate   float64
+		outlier   bool
+	}
+	srcs := make([]srcBehaviour, cfg.Sources)
+	for i := range srcs {
+		srcs[i] = srcBehaviour{
+			name:      fmt.Sprintf("quote-%02d", i),
+			sigDigits: 2 + rng.Intn(5), // 2..6 significant digits
+			errRate:   0.02 + rng.Float64()*0.1,
+			outlier:   i < cfg.OutlierSources,
+		}
+	}
+
+	var out []StockAttribute
+	for _, a := range attrs {
+		sa := StockAttribute{Name: a.name, Gold: map[string]float64{}}
+		for si := 0; si < cfg.Symbols; si++ {
+			obj := fmt.Sprintf("%s/sym-%04d", a.name, si)
+			truth := a.gen()
+			sa.Gold[obj] = truth
+			for _, s := range srcs {
+				// Each source covers ~85% of symbols.
+				if rng.Float64() > 0.85 {
+					continue
+				}
+				var v float64
+				switch {
+				case s.outlier && rng.Float64() < 0.5:
+					// Wild outlier: scale error by 100x either way.
+					v = truth * math.Pow(100, rng.Float64()*2-1)
+					if v == 0 {
+						v = rng.NormFloat64() * 100
+					}
+				case rng.Float64() < s.errRate:
+					// Plain mistake: relative perturbation.
+					v = truth * (1 + rng.NormFloat64()*0.2)
+				default:
+					v = truth
+				}
+				sa.Records = append(sa.Records, data.Record{
+					Object: obj,
+					Source: s.name,
+					Value:  hierarchy.FormatSig(v, s.sigDigits),
+				})
+			}
+		}
+		out = append(out, sa)
+	}
+	return out
+}
