@@ -1,36 +1,50 @@
 // Command crowdserver runs the crowdsourcing coordinator over a dataset:
-// workers fetch tasks and submit answers over HTTP while the server keeps
-// re-running hierarchical truth inference and EAI task assignment. This is
-// the runnable equivalent of the paper's own crowdsourcing system
-// (Section 5.5).
+// workers fetch tasks and submit answers over HTTP while a background
+// pipeline keeps hierarchical truth inference and EAI task assignment
+// fresh — incremental EM between debounced full refits, reads served
+// lock-free from published snapshots. This is the runnable equivalent of
+// the paper's own crowdsourcing system (Section 5.5).
 //
-//	crowdserver -in dataset.json -addr :8080 -log answers.jsonl
+//	crowdserver -in dataset.json -addr :8080 -log answers.jsonl -workers -1
 //	curl 'localhost:8080/task?worker=alice'
 //	curl -X POST localhost:8080/answer -d '{"worker":"alice","object":"...","value":"..."}'
 //	curl localhost:8080/stats
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/answerlog"
 	"repro/internal/data"
 	"repro/internal/experiments"
+	"repro/internal/infer"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input dataset JSON (required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		alg     = flag.String("alg", "TDH", "inference algorithm")
-		asgName = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB")
-		k       = flag.Int("k", 5, "questions per task request")
-		logPath = flag.String("log", "", "append-only answer log (enables durable campaigns)")
-		seed    = flag.Int64("seed", 7, "random seed for sampling assigners")
+		in        = flag.String("in", "", "input dataset JSON (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		alg       = flag.String("alg", "TDH", "inference algorithm")
+		asgName   = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB")
+		k         = flag.Int("k", 5, "questions per task request")
+		logPath   = flag.String("log", "", "append-only answer log (enables durable campaigns)")
+		seed      = flag.Int64("seed", 7, "random seed for sampling assigners")
+		workers   = flag.Int("workers", -1, "E-step goroutines for full refits (TDH only): -1 = all cores, 0/1 = sequential")
+		refitN    = flag.Int("refit-answers", 0, "full refit after this many answers (0 = default 64, <0 = never)")
+		refitAge  = flag.Duration("refit-staleness", 0, "full refit when unrefitted answers are older than this (0 = default 2s, <0 = never)")
+		batch     = flag.Int("batch", 0, "max answers folded per incremental step (0 = default 64)")
+		queue     = flag.Int("queue", 0, "ingest queue size before /answer applies backpressure (0 = default 1024)")
+		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (open campaign)")
+		drainWait = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -45,6 +59,11 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown algorithm %q", *alg))
 	}
+	// Full refits run off the request path; give TDH the parallel E-step.
+	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
+		tdh.Opt.Workers = *workers
+		inferencer = tdh
+	}
 	assigner, ok := experiments.AssignerByName(*asgName)
 	if !ok {
 		fatal(fmt.Errorf("unknown assigner %q", *asgName))
@@ -55,6 +74,13 @@ func main() {
 		Assigner:   assigner,
 		K:          *k,
 		Seed:       *seed,
+		Policy: server.RefitPolicy{
+			MaxAnswers:   *refitN,
+			MaxStaleness: *refitAge,
+			BatchSize:    *batch,
+			QueueSize:    *queue,
+		},
+		OpenAnswers: *open,
 	}
 	if *logPath != "" {
 		// Recover any previously collected answers, then keep appending.
@@ -62,9 +88,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if res.Answers > 0 || res.Skipped > 0 {
-			fmt.Printf("recovered %d answers from %s (%d malformed lines skipped)\n",
-				res.Answers, *logPath, res.Skipped)
+		if res.Answers > 0 || res.Skipped > 0 || res.Duplicates > 0 {
+			fmt.Printf("recovered %d answers from %s (%d malformed lines skipped, %d duplicates dropped)\n",
+				res.Answers, *logPath, res.Skipped, res.Duplicates)
 		}
 		l, err := answerlog.Open(*logPath)
 		if err != nil {
@@ -79,8 +105,29 @@ func main() {
 	}
 	fmt.Printf("crowdserver: %s+%s over %d objects, listening on %s\n",
 		inferencer.Name(), assigner.Name(), len(ds.Objects()), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fatal(err)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("crowdserver: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "crowdserver: shutdown:", err)
+		}
+	}
+	// Flush the ingest queue into a final snapshot before exiting, so the
+	// process never drops an accepted answer from its in-memory state.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdserver: close:", err)
 	}
 }
 

@@ -82,14 +82,18 @@ func (l *Log) Close() error {
 
 // ReplayResult reports what a Replay recovered.
 type ReplayResult struct {
-	Answers int // valid answers recovered
-	Skipped int // malformed lines skipped (e.g. torn final write)
+	Answers    int // valid answers recovered
+	Skipped    int // malformed lines skipped (e.g. torn final write)
+	Duplicates int // duplicate (worker, object) answers dropped
 }
 
 // Replay reads a log and appends the recovered answers to ds. Malformed
 // lines — a torn write from a crash mid-append can only be the last line,
 // but any malformed line is tolerated — are counted and skipped rather
-// than failing the whole recovery.
+// than failing the whole recovery. Duplicate (worker, object) answers —
+// whether repeated within the log or already present in the dataset — are
+// dropped and counted, so a replayed answer can never be double-counted by
+// inference.
 func Replay(path string, ds *data.Dataset) (ReplayResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -105,6 +109,11 @@ func Replay(path string, ds *data.Dataset) (ReplayResult, error) {
 // ReplayFrom is Replay over any reader (exposed for tests and piping).
 func ReplayFrom(r io.Reader, ds *data.Dataset) (ReplayResult, error) {
 	var res ReplayResult
+	type key struct{ worker, object string }
+	seen := make(map[key]bool, len(ds.Answers))
+	for _, a := range ds.Answers {
+		seen[key{a.Worker, a.Object}] = true
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -117,6 +126,12 @@ func ReplayFrom(r io.Reader, ds *data.Dataset) (ReplayResult, error) {
 			res.Skipped++
 			continue
 		}
+		k := key{a.Worker, a.Object}
+		if seen[k] {
+			res.Duplicates++
+			continue
+		}
+		seen[k] = true
 		ds.Answers = append(ds.Answers, a)
 		res.Answers++
 	}

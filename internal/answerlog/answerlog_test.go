@@ -125,8 +125,35 @@ func TestConcurrentAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Answers != 20 || res.Skipped != 0 {
+	if res.Answers+res.Duplicates != 20 || res.Skipped != 0 {
 		t.Fatalf("replay = %+v (interleaved writes corrupted the log)", res)
+	}
+	if res.Answers != 1 || res.Duplicates != 19 {
+		t.Fatalf("identical (worker, object) answers must dedupe: %+v", res)
+	}
+}
+
+func TestReplayDedupesAgainstDatasetAndWithinLog(t *testing.T) {
+	raw := `{"object":"o1","worker":"w1","value":"v1"}
+{"object":"o1","worker":"w1","value":"v2"}
+{"object":"o2","worker":"w1","value":"v1"}
+`
+	ds := &data.Dataset{
+		Name:    "x",
+		Truth:   map[string]string{},
+		Answers: []data.Answer{{Object: "o2", Worker: "w1", Value: "v9"}},
+	}
+	res, err := ReplayFrom(strings.NewReader(raw), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o1/w1 appears twice in the log (second dropped); o2/w1 is already in
+	// the dataset (dropped).
+	if res.Answers != 1 || res.Duplicates != 2 || res.Skipped != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	if len(ds.Answers) != 2 {
+		t.Fatalf("dataset answers = %+v", ds.Answers)
 	}
 }
 

@@ -29,6 +29,39 @@ type Model struct {
 	Iterations int // EM iterations actually run
 }
 
+// Clone returns a deep copy of the fitted parameters sharing the (immutable)
+// index. The streaming server clones the live model before folding answers
+// in with ApplyAnswer, so previously published models are never mutated and
+// can be read lock-free by concurrent task assigners.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Idx:        m.Idx,
+		Opt:        m.Opt,
+		Iterations: m.Iterations,
+		Mu:         make(map[string][]float64, len(m.Mu)),
+		Phi:        make(map[string][3]float64, len(m.Phi)),
+		Psi:        make(map[string][3]float64, len(m.Psi)),
+		N:          make(map[string][]float64, len(m.N)),
+		D:          make(map[string]float64, len(m.D)),
+	}
+	for o, mu := range m.Mu {
+		c.Mu[o] = append([]float64(nil), mu...)
+	}
+	for o, n := range m.N {
+		c.N[o] = append([]float64(nil), n...)
+	}
+	for o, d := range m.D {
+		c.D[o] = d
+	}
+	for s, p := range m.Phi {
+		c.Phi[s] = p
+	}
+	for w, p := range m.Psi {
+		c.Psi[w] = p
+	}
+	return c
+}
+
 // DefaultPhi returns the prior-mean source trustworthiness, used to
 // initialize EM and for sources with no claims.
 func (m *Model) DefaultPhi() [3]float64 { return priorMean(m.Opt.Alpha) }

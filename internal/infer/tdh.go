@@ -28,7 +28,13 @@ func (t TDH) Name() string {
 
 // Infer implements Inferencer.
 func (t TDH) Infer(idx *data.Index) *Result {
-	m := core.Run(idx, t.Opt)
+	return ResultFromModel(core.Run(idx, t.Opt))
+}
+
+// ResultFromModel packages a fitted (or incrementally updated) TDH model as
+// a Result. Confidence slices are copied, so the Result stays valid even if
+// the model is later cloned and advanced by streaming updates.
+func ResultFromModel(m *core.Model) *Result {
 	res := &Result{
 		Truths:      m.Truths(),
 		Confidence:  make(map[string][]float64, len(m.Mu)),

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -34,6 +36,7 @@ func TestDurableCampaignRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s1.Close()
 	idx := data.NewIndex(ds)
 	var accepted []data.Answer
 	for i, o := range idx.Objects {
@@ -75,11 +78,19 @@ func TestDurableCampaignRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	// The recovered answers are visible in the new server's model: the
 	// workers appear in the trust map after inference.
 	truths := s2.Truths()
 	if len(truths) == 0 {
 		t.Fatal("no truths after recovery")
+	}
+	// A recovered answer cannot be resubmitted: the answered-set is seeded
+	// from the replayed dataset, so the duplicate gets 409.
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if resp := postJSON(t, ts2.URL+"/answer", accepted[0]); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("replayed duplicate status = %d, want 409", resp.StatusCode)
 	}
 	// The answered objects' confidence should reflect the extra answers:
 	// D grows by one for each recovered answer relative to a fresh server.
@@ -88,6 +99,7 @@ func TestDurableCampaignRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sFresh.Close()
 	freshTruths := sFresh.Truths()
 	if len(freshTruths) != len(truths) {
 		t.Fatal("object sets differ between recovered and fresh servers")

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Per-worker serving state (pending assignments and the answered-set used
+// for duplicate rejection) lives in a small sharded map: /task and /answer
+// calls for different workers lock different shards and never contend with
+// each other — and never with the inference pipeline, which has no access
+// to this state at all.
+
+const numShards = 32
+
+type workerShard struct {
+	mu sync.Mutex
+	// pending maps worker -> objects assigned and not yet answered, so
+	// repeated /task calls are idempotent until answers arrive.
+	pending map[string][]string
+	// answered maps worker -> set of objects it has answered (including
+	// answers recovered from the dataset at startup), so duplicate
+	// (worker, object) submissions are rejected instead of double-counted.
+	answered map[string]map[string]bool
+}
+
+type workerState struct {
+	shards [numShards]workerShard
+}
+
+func newWorkerState() *workerState {
+	ws := &workerState{}
+	for i := range ws.shards {
+		ws.shards[i].pending = map[string][]string{}
+		ws.shards[i].answered = map[string]map[string]bool{}
+	}
+	return ws
+}
+
+// shardFor returns the shard owning a worker's state.
+func (ws *workerState) shardFor(worker string) *workerShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(worker))
+	return &ws.shards[h.Sum32()%numShards]
+}
+
+// hasAnswered reports whether the worker answered the object; callers hold
+// the shard lock.
+func (sh *workerShard) hasAnswered(worker, object string) bool {
+	return sh.answered[worker][object]
+}
+
+// markAnswered records an accepted answer and clears the matching pending
+// entry; callers hold the shard lock.
+func (sh *workerShard) markAnswered(worker, object string) {
+	set := sh.answered[worker]
+	if set == nil {
+		set = map[string]bool{}
+		sh.answered[worker] = set
+	}
+	set[object] = true
+	pend := sh.pending[worker]
+	for i, o := range pend {
+		if o == object {
+			sh.pending[worker] = append(pend[:i], pend[i+1:]...)
+			break
+		}
+	}
+	if len(sh.pending[worker]) == 0 {
+		delete(sh.pending, worker)
+	}
+}
+
+// unmarkAnswered rolls back a markAnswered reservation (used when the
+// durable log append fails after the slot was reserved); callers hold the
+// shard lock. restorePending re-adds the object to the worker's pending
+// list when the reservation had consumed a pending assignment.
+func (sh *workerShard) unmarkAnswered(worker, object string, restorePending bool) {
+	if set := sh.answered[worker]; set != nil {
+		delete(set, object)
+		if len(set) == 0 {
+			delete(sh.answered, worker)
+		}
+	}
+	if restorePending {
+		sh.pending[worker] = append(sh.pending[worker], object)
+	}
+}
+
+// isPending reports whether the object is currently assigned to the worker;
+// callers hold the shard lock.
+func (sh *workerShard) isPending(worker, object string) bool {
+	for _, o := range sh.pending[worker] {
+		if o == object {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// The inference pipeline decouples answer ingestion from inference: POST
+// /answer enqueues the accepted answer on a buffered channel and returns;
+// a single background goroutine drains the channel in batches, folds each
+// batch into the model with the cheap incremental EM of Section 4.2
+// (one O(|Vo|) step per answer, via core.Model.ApplyAnswer on a clone),
+// and publishes a fresh immutable Snapshot. Full refits — the expensive
+// MAP-EM from scratch, with the parallel E-step when Options.Workers is
+// set — are debounced behind a RefitPolicy and also run entirely off the
+// request path, so reads served from the previous snapshot never wait.
+
+// RefitPolicy controls when the pipeline escalates from incremental
+// confidence updates to a full EM refit, and how ingestion is buffered.
+// Zero-value fields take the defaults documented per field.
+type RefitPolicy struct {
+	// MaxAnswers triggers a full refit once this many answers accumulated
+	// since the last one (default 64; <0 disables count-based refits).
+	MaxAnswers int
+	// MaxStaleness triggers a full refit when the oldest unrefitted answer
+	// is older than this (default 2s; <0 disables staleness refits).
+	MaxStaleness time.Duration
+	// BatchSize caps how many queued answers one incremental step folds in
+	// before publishing a snapshot (default 64).
+	BatchSize int
+	// QueueSize is the ingest channel buffer; /answer blocks (backpressure)
+	// when it is full (default 1024).
+	QueueSize int
+}
+
+const (
+	defaultMaxAnswers   = 64
+	defaultMaxStaleness = 2 * time.Second
+	defaultBatchSize    = 64
+	defaultQueueSize    = 1024
+)
+
+func (p RefitPolicy) withDefaults() RefitPolicy {
+	if p.MaxAnswers == 0 {
+		p.MaxAnswers = defaultMaxAnswers
+	}
+	if p.MaxStaleness == 0 {
+		p.MaxStaleness = defaultMaxStaleness
+	}
+	if p.BatchSize <= 0 {
+		p.BatchSize = defaultBatchSize
+	}
+	if p.QueueSize <= 0 {
+		p.QueueSize = defaultQueueSize
+	}
+	return p
+}
+
+// refreshReq asks the pipeline for a synchronous full refit; the pipeline
+// drains queued answers first and closes done after publishing.
+type refreshReq struct {
+	done chan *Snapshot
+}
+
+// pipeline is the state owned exclusively by the inference goroutine. No
+// lock protects it: handlers communicate with it only through channels and
+// read only the published snapshots.
+type pipeline struct {
+	s      *Server
+	policy RefitPolicy
+
+	work  *data.Dataset // private copy the pipeline appends answers to
+	idx   *data.Index   // index of the last full refit
+	res   *infer.Result // last published result
+	model *core.Model   // TDH model backing res, nil for non-model inferencers
+
+	round      int64
+	applied    int // answers folded into the published snapshot
+	sinceRefit int // answers since the last full refit
+	staleSince time.Time
+}
+
+// publish makes the pipeline's current state visible to readers.
+func (p *pipeline) publish() {
+	p.s.current.Store(&Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied})
+}
+
+// fullRefit rebuilds the index from the answer-extended dataset and reruns
+// the configured inferencer from scratch.
+func (p *pipeline) fullRefit() {
+	p.idx = data.NewIndex(p.work)
+	p.res = p.s.cfg.Inferencer.Infer(p.idx)
+	p.model, _ = p.res.Model.(*core.Model)
+	p.round++
+	p.sinceRefit = 0
+	p.publish()
+}
+
+// ingest extends the dataset and counters with accepted answers, without
+// touching the model (callers decide between an incremental publish and a
+// full refit).
+func (p *pipeline) ingest(batch []data.Answer) {
+	p.work.Answers = append(p.work.Answers, batch...)
+	if p.sinceRefit == 0 {
+		p.staleSince = time.Now()
+	}
+	p.sinceRefit += len(batch)
+	p.applied += len(batch)
+}
+
+// applyBatch folds accepted answers into the dataset and — when the
+// inferencer exposes a core.Model — into a clone of the live model with one
+// incremental EM step per answer, publishing the updated confidences. For
+// other inferencers the answers only extend the dataset; their effect on
+// the result waits for the next policy-triggered refit.
+func (p *pipeline) applyBatch(batch []data.Answer) {
+	if len(batch) == 0 {
+		return
+	}
+	p.ingest(batch)
+	if p.model == nil {
+		p.publish() // stale confidences, fresh answer count
+		return
+	}
+	m := p.model.Clone()
+	for _, a := range batch {
+		ov := p.idx.View(a.Object)
+		if ov == nil {
+			continue // object unknown to the current index; refit will pick it up
+		}
+		ans, ok := ov.CI.Pos[a.Value]
+		if !ok {
+			continue // not a candidate under the current index
+		}
+		m.ApplyAnswer(a.Object, a.Worker, ans)
+	}
+	p.model = m
+	p.res = infer.ResultFromModel(m)
+	p.publish()
+}
+
+// shouldRefit applies the count/staleness policy.
+func (p *pipeline) shouldRefit(now time.Time) bool {
+	if p.sinceRefit <= 0 {
+		return false
+	}
+	if p.policy.MaxAnswers > 0 && p.sinceRefit >= p.policy.MaxAnswers {
+		return true
+	}
+	if p.policy.MaxStaleness > 0 && now.Sub(p.staleSince) >= p.policy.MaxStaleness {
+		return true
+	}
+	return false
+}
+
+// drainQueued moves everything currently buffered on the ingest channel
+// into a batch, without blocking, up to the configured batch size (0 = no
+// cap, used during refresh and shutdown).
+func (p *pipeline) drainQueued(first []data.Answer, limit int) []data.Answer {
+	batch := first
+	for limit <= 0 || len(batch) < limit {
+		select {
+		case a := <-p.s.ingestCh:
+			batch = append(batch, a)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// loop is the pipeline goroutine. It exits when Server.Close signals quit,
+// after flushing every queued answer into a final snapshot.
+func (p *pipeline) loop() {
+	defer close(p.s.doneCh)
+	tick := time.NewTicker(p.tickInterval())
+	defer tick.Stop()
+	for {
+		select {
+		case a := <-p.s.ingestCh:
+			p.applyBatch(p.drainQueued([]data.Answer{a}, p.policy.BatchSize))
+			if p.shouldRefit(time.Now()) {
+				p.fullRefit()
+			}
+		case req := <-p.s.refreshCh:
+			// No incremental pass here: the refit recomputes everything the
+			// drained answers would have contributed.
+			p.ingest(p.drainQueued(nil, 0))
+			p.fullRefit()
+			req.done <- p.s.snap()
+		case <-tick.C:
+			if p.shouldRefit(time.Now()) {
+				p.fullRefit()
+			}
+		case <-p.s.quitCh:
+			// Flush: every answer accepted before Close was enqueued, so one
+			// unbounded drain folds the backlog into a final snapshot.
+			p.applyBatch(p.drainQueued(nil, 0))
+			return
+		}
+	}
+}
+
+// tickInterval is the staleness check cadence: a fraction of MaxStaleness,
+// or a slow idle tick when staleness refits are disabled.
+func (p *pipeline) tickInterval() time.Duration {
+	if p.policy.MaxStaleness > 0 {
+		iv := p.policy.MaxStaleness / 4
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
+		return iv
+	}
+	return time.Second
+}

@@ -1,7 +1,7 @@
 // Package server implements the crowdsourcing service the paper's
 // Section 5.5 experiments ran on ("our own crowdsourcing system"): an HTTP
 // API that serves truth-discovery tasks to workers, collects their answers,
-// and re-runs inference + task assignment as the campaign progresses.
+// and keeps inference and task assignment fresh as the campaign progresses.
 //
 // Endpoints (all JSON):
 //
@@ -11,11 +11,16 @@
 //	GET  /confidence?object=O confidence distribution of one object
 //	GET  /trust               per-source and per-worker trust estimates
 //	GET  /stats               campaign statistics (+quality if gold known)
-//	POST /refresh             force re-inference immediately
+//	POST /refresh             force a full re-inference and wait for it
 //
-// Inference is re-run lazily: answers mark the state dirty and the next
-// read endpoint triggers a refit. An optional append-only answer log makes
-// campaigns durable across restarts (see internal/answerlog).
+// Architecture: read endpoints serve from an immutable Snapshot published
+// through an atomic pointer and take no lock shared with inference. POST
+// /answer validates against the current snapshot and the worker's sharded
+// pending state, appends to the durable answer log, and enqueues the answer
+// for the background inference pipeline (see pipeline.go), which folds
+// batches in with incremental EM and debounces full refits per RefitPolicy.
+// An optional append-only answer log makes campaigns durable across
+// restarts (see internal/answerlog).
 package server
 
 import (
@@ -25,6 +30,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/assign"
 	"repro/internal/data"
@@ -45,30 +51,58 @@ type Config struct {
 	// K is the number of questions handed out per /task call (default 5,
 	// the paper's setting).
 	K int
-	// Log, when non-nil, receives every accepted answer.
+	// Log, when non-nil, receives every accepted answer before it is
+	// acknowledged.
 	Log AnswerSink
 	// Seed drives the assigner's sampling.
 	Seed int64
+	// Policy tunes the inference pipeline (zero value = defaults).
+	Policy RefitPolicy
+	// OpenAnswers accepts answers for objects that were never assigned to
+	// the submitting worker (an open campaign). Duplicate (worker, object)
+	// answers are rejected either way. Default: answers must match a
+	// pending assignment handed out by /task.
+	OpenAnswers bool
 }
 
-// Server is the crowdsourcing coordinator. All state transitions hold mu;
-// inference runs inside the lock (campaign datasets are small — the
-// paper's rounds take seconds).
+// Server is the crowdsourcing coordinator. Reads are lock-free against a
+// published Snapshot; per-worker assignment state is sharded (pending.go);
+// inference runs in a single background goroutine (pipeline.go).
 type Server struct {
-	mu      sync.Mutex
 	cfg     Config
-	work    *data.Dataset
-	idx     *data.Index
-	res     *infer.Result
-	dirty   bool
-	round   int64
-	answers int
-	// pending tracks tasks handed to a worker and not yet answered, so
-	// repeated /task calls are idempotent until answers arrive.
-	pending map[string][]string
+	current atomic.Pointer[Snapshot]
+	workers *workerState
+
+	// accepted answers (beyond the seed dataset), for Answers() and /stats.
+	acceptedMu   sync.Mutex
+	acceptedList []data.Answer
+
+	ingestCh  chan data.Answer
+	refreshCh chan refreshReq
+	quitCh    chan struct{}
+	doneCh    chan struct{}
+	closed    atomic.Bool
+	closeMu   sync.Mutex
+	ingestWG  sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// New builds a Server and runs the initial inference.
+// beginIngest registers an in-flight answer accept; Close waits for all of
+// them before the pipeline's final drain, so an answer acknowledged with
+// 200 is always folded into the final snapshot. Returns false once the
+// server is shutting down.
+func (s *Server) beginIngest() bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.ingestWG.Add(1)
+	return true
+}
+
+// New builds a Server, runs the initial inference synchronously, and starts
+// the inference pipeline.
 func New(cfg Config) (*Server, error) {
 	if cfg.Dataset == nil {
 		return nil, errors.New("server: nil dataset")
@@ -82,27 +116,55 @@ func New(cfg Config) (*Server, error) {
 	if cfg.K == 0 {
 		cfg.K = 5
 	}
+	cfg.Policy = cfg.Policy.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		work:    cfg.Dataset.Clone(),
-		pending: map[string][]string{},
-		dirty:   true,
+		cfg:       cfg,
+		workers:   newWorkerState(),
+		ingestCh:  make(chan data.Answer, cfg.Policy.QueueSize),
+		refreshCh: make(chan refreshReq),
+		quitCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
 	}
-	s.refreshLocked()
+	// Seed the answered-sets from answers already in the dataset (e.g.
+	// recovered from an answer log), so replayed answers cannot be
+	// resubmitted and double-counted.
+	for _, a := range cfg.Dataset.Answers {
+		sh := s.workers.shardFor(a.Worker)
+		sh.markAnswered(a.Worker, a.Object)
+	}
+	p := &pipeline{s: s, policy: cfg.Policy, work: cfg.Dataset.Clone()}
+	p.fullRefit() // initial inference, published before New returns
+	go p.loop()
 	return s, nil
 }
 
-// refreshLocked re-indexes and re-fits; callers hold mu (or are in New).
-func (s *Server) refreshLocked() {
-	s.idx = data.NewIndex(s.work)
-	s.res = s.cfg.Inferencer.Infer(s.idx)
-	s.dirty = false
-	s.round++
+// Close drains the ingest queue into a final snapshot and stops the
+// inference pipeline. Answer submissions after Close fail with 503; reads
+// keep serving the final snapshot.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closed.Store(true)
+		s.closeMu.Unlock()
+		// Wait for in-flight accepts to finish enqueueing (the pipeline is
+		// still draining, so a full queue cannot deadlock this), then stop
+		// the pipeline; its final drain folds every acknowledged answer in.
+		s.ingestWG.Wait()
+		close(s.quitCh)
+		<-s.doneCh
+	})
+	return nil
 }
 
-func (s *Server) ensureFresh() {
-	if s.dirty {
-		s.refreshLocked()
+// Refresh forces a full refit and returns the snapshot it published
+// (programmatic twin of POST /refresh).
+func (s *Server) Refresh() (*Snapshot, error) {
+	req := refreshReq{done: make(chan *Snapshot, 1)}
+	select {
+	case s.refreshCh <- req:
+		return <-req.done, nil
+	case <-s.quitCh:
+		return nil, errors.New("server: closed")
 	}
 }
 
@@ -132,31 +194,76 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing worker parameter")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
+	snap := s.snap()
+	sh := s.workers.shardFor(worker)
 
-	objs := s.pending[worker]
-	if len(objs) == 0 {
+	// Prune pending entries the current snapshot no longer knows (e.g. a
+	// stale assignment from a superseded dataset): a worker must never be
+	// wedged behind objects that can no longer be served as tasks.
+	sh.mu.Lock()
+	live := prunePending(sh, worker, snap)
+	sh.mu.Unlock()
+	if len(live) == 0 {
+		// Compute the assignment outside the shard lock — it only reads the
+		// immutable snapshot, and an O(|O|) assigner pass must not block
+		// /answer calls for other workers hashing to the same shard.
 		ctx := &assign.Context{
-			Idx:     s.idx,
-			Res:     s.res,
+			Idx:     snap.Idx,
+			Res:     snap.Res,
 			Workers: []string{worker},
 			K:       s.cfg.K,
-			Seed:    s.cfg.Seed + s.round,
+			Seed:    s.cfg.Seed + snap.Round,
 		}
-		objs = s.cfg.Assigner.Assign(ctx)[worker]
-		s.pending[worker] = objs
+		assigned := s.cfg.Assigner.Assign(ctx)[worker]
+		sh.mu.Lock()
+		// A concurrent /task for the same worker may have installed an
+		// assignment meanwhile; keep that one for idempotency.
+		if live = prunePending(sh, worker, snap); len(live) == 0 {
+			for _, o := range assigned {
+				// The snapshot's index may lag recent answers; the
+				// answered-set is authoritative, so filter re-assignments
+				// of answered objects.
+				if !sh.hasAnswered(worker, o) {
+					live = append(live, o)
+				}
+			}
+			if len(live) > 0 {
+				// Store a copy: markAnswered mutates the stored slice's
+				// backing array, and live is read after unlock.
+				sh.pending[worker] = append([]string(nil), live...)
+			}
+		}
+		sh.mu.Unlock()
 	}
-	tasks := make([]Task, 0, len(objs))
-	for _, o := range objs {
-		ov := s.idx.View(o)
+	tasks := make([]Task, 0, len(live))
+	for _, o := range live {
+		ov := snap.Idx.View(o)
 		if ov == nil {
 			continue
 		}
 		tasks = append(tasks, Task{Object: o, Candidates: append([]string(nil), ov.CI.Values...)})
 	}
 	writeJSON(w, map[string]any{"worker": worker, "tasks": tasks})
+}
+
+// prunePending drops pending entries the snapshot cannot serve and stores
+// the survivors back; callers hold the shard lock. The returned slice is a
+// copy: the stored one's backing array is mutated in place by markAnswered,
+// so it must not be read after the lock is released.
+func prunePending(sh *workerShard, worker string, snap *Snapshot) []string {
+	objs := sh.pending[worker]
+	live := make([]string, 0, len(objs))
+	for _, o := range objs {
+		if snap.Idx.View(o) != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		delete(sh.pending, worker)
+		return nil
+	}
+	sh.pending[worker] = live
+	return append([]string(nil), live...)
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -169,9 +276,13 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "worker, object and value are required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ov := s.idx.View(a.Object)
+	if !s.beginIngest() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer s.ingestWG.Done()
+	snap := s.snap()
+	ov := snap.Idx.View(a.Object)
 	if ov == nil {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", a.Object))
 		return
@@ -181,47 +292,65 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("value %q is not a candidate for %q", a.Value, a.Object))
 		return
 	}
+
+	// Reserve the (worker, object) slot under the shard lock — concurrent
+	// duplicates race on this reservation, not on the log I/O below.
+	sh := s.workers.shardFor(a.Worker)
+	sh.mu.Lock()
+	if sh.hasAnswered(a.Worker, a.Object) {
+		sh.mu.Unlock()
+		httpError(w, http.StatusConflict,
+			fmt.Sprintf("worker %q already answered object %q", a.Worker, a.Object))
+		return
+	}
+	wasPending := sh.isPending(a.Worker, a.Object)
+	if !s.cfg.OpenAnswers && !wasPending {
+		sh.mu.Unlock()
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("object %q is not assigned to worker %q", a.Object, a.Worker))
+		return
+	}
+	sh.markAnswered(a.Worker, a.Object)
+	sh.mu.Unlock()
+
+	// Durable append outside the shard lock: an fsync must not block /task
+	// and /answer for every worker hashing to the same shard. On failure the
+	// reservation is rolled back.
 	if s.cfg.Log != nil {
 		if err := s.cfg.Log.Append(a); err != nil {
+			sh.mu.Lock()
+			sh.unmarkAnswered(a.Worker, a.Object, wasPending)
+			sh.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, "answer log: "+err.Error())
 			return
 		}
 	}
-	s.work.Answers = append(s.work.Answers, a)
-	s.answers++
-	s.dirty = true
-	// Clear the answered task from the worker's pending list.
-	pend := s.pending[a.Worker]
-	for i, o := range pend {
-		if o == a.Object {
-			s.pending[a.Worker] = append(pend[:i], pend[i+1:]...)
-			break
-		}
-	}
-	if len(s.pending[a.Worker]) == 0 {
-		delete(s.pending, a.Worker)
-	}
-	writeJSON(w, map[string]any{"accepted": true, "answers": s.answers})
+
+	s.acceptedMu.Lock()
+	s.acceptedList = append(s.acceptedList, a)
+	n := len(s.acceptedList)
+	s.acceptedMu.Unlock()
+
+	// Enqueue for the inference pipeline; a full queue applies backpressure.
+	// The pipeline keeps draining until Close has waited out every in-flight
+	// accept (beginIngest/ingestWG), so this send cannot block forever.
+	s.ingestCh <- a
+	writeJSON(w, map[string]any{"accepted": true, "answers": n})
 }
 
 func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
-	writeJSON(w, s.res.Truths)
+	writeJSON(w, s.snap().Res.Truths)
 }
 
 func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 	object := r.URL.Query().Get("object")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
-	ov := s.idx.View(object)
+	snap := s.snap()
+	ov := snap.Idx.View(object)
 	if ov == nil {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", object))
 		return
 	}
-	conf := s.res.Confidence[object]
+	conf := snap.Res.Confidence[object]
 	out := make(map[string]float64, len(conf))
 	for i, v := range ov.CI.Values {
 		out[v] = conf[i]
@@ -230,20 +359,22 @@ func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
+	snap := s.snap()
 	writeJSON(w, map[string]any{
-		"sources": s.res.SourceTrust,
-		"workers": s.res.WorkerTrust,
+		"sources": snap.Res.SourceTrust,
+		"workers": snap.Res.WorkerTrust,
 	})
 }
 
 // Stats is the campaign status payload.
 type Stats struct {
-	Objects     int     `json:"objects"`
-	Records     int     `json:"records"`
+	Objects int `json:"objects"`
+	Records int `json:"records"`
+	// Answers counts accepted crowd answers (immediately, including any
+	// still queued for inference); Applied counts answers folded into the
+	// snapshot the rest of this payload was computed from.
 	Answers     int     `json:"answers"`
+	Applied     int     `json:"applied_answers"`
 	Rounds      int64   `json:"inference_runs"`
 	Inference   string  `json:"inference"`
 	Assignment  string  `json:"assignment"`
@@ -254,51 +385,59 @@ type Stats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
+	writeJSON(w, s.stats())
+}
+
+// stats builds the Stats payload from one snapshot load, so round and
+// answer counts are mutually consistent even during a refit.
+func (s *Server) stats() Stats {
+	snap := s.snap()
+	base := s.cfg.Dataset
+	s.acceptedMu.Lock()
+	accepted := len(s.acceptedList)
+	s.acceptedMu.Unlock()
 	st := Stats{
-		Objects:    s.idx.NumObjects(),
-		Records:    len(s.work.Records),
-		Answers:    s.answers,
-		Rounds:     s.round,
+		Objects:    snap.Idx.NumObjects(),
+		Records:    len(base.Records),
+		Answers:    accepted,
+		Applied:    snap.Answers,
+		Rounds:     snap.Round,
 		Inference:  s.cfg.Inferencer.Name(),
 		Assignment: s.cfg.Assigner.Name(),
-		HasGold:    len(s.work.Truth) > 0,
+		HasGold:    len(base.Truth) > 0,
 	}
 	if st.HasGold {
-		sc := eval.Evaluate(s.work, s.idx, s.res.Truths)
+		sc := eval.Evaluate(base, snap.Idx, snap.Res.Truths)
 		st.Accuracy = sc.Accuracy
 		st.GenAccuracy = sc.GenAccuracy
 		st.AvgDistance = sc.AvgDistance
 	}
-	writeJSON(w, st)
+	return st
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.refreshLocked()
-	writeJSON(w, map[string]any{"refreshed": true, "inference_runs": s.round})
+	snap, err := s.Refresh()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"refreshed": true, "inference_runs": snap.Round})
 }
 
-// Answers returns a copy of the collected crowd answers (for tests and
-// campaign export).
+// Answers returns a copy of the crowd answers accepted by this server
+// instance (for tests and campaign export).
 func (s *Server) Answers() []data.Answer {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	base := len(s.cfg.Dataset.Answers)
-	return append([]data.Answer(nil), s.work.Answers[base:]...)
+	s.acceptedMu.Lock()
+	defer s.acceptedMu.Unlock()
+	return append([]data.Answer(nil), s.acceptedList...)
 }
 
-// Truths returns the current inferred truths sorted by object, refreshing
-// if needed (programmatic twin of GET /truths).
+// Truths returns the current inferred truths (programmatic twin of GET
+// /truths).
 func (s *Server) Truths() map[string]string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureFresh()
-	out := make(map[string]string, len(s.res.Truths))
-	for k, v := range s.res.Truths {
+	truths := s.snap().Res.Truths
+	out := make(map[string]string, len(truths))
+	for k, v := range truths {
 		out[k] = v
 	}
 	return out
@@ -320,9 +459,7 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 // SortedObjects lists the campaign's objects (stable order), for clients
 // that page through the corpus.
 func (s *Server) SortedObjects() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := append([]string(nil), s.idx.Objects...)
+	out := append([]string(nil), s.snap().Idx.Objects...)
 	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// Snapshot is an immutable view of the campaign state, published by the
+// inference pipeline through an atomic pointer. Read endpoints serve
+// entirely from the snapshot they load, so a request observes one
+// consistent (index, result, round, answer-count) tuple even while a full
+// refit is in flight — and never waits for one.
+//
+// Nothing reachable from a Snapshot is mutated after publication: the
+// pipeline clones the model before applying incremental updates and builds
+// a fresh Result for every publish.
+type Snapshot struct {
+	// Idx is the candidate-set index the Res was computed against.
+	Idx *data.Index
+	// Res is the inference output (truths, confidences, trust, model).
+	Res *infer.Result
+	// Round counts completed full refits (the old "inference_runs").
+	Round int64
+	// Answers is the number of crowd answers accepted by this server
+	// instance and folded into this snapshot. It trails the accepted count
+	// while answers sit in the ingest queue and catches up as the pipeline
+	// drains; answers recovered into the dataset before startup are part of
+	// the dataset itself, not this counter.
+	Answers int
+}
+
+// snap loads the current snapshot; it is never nil after New.
+func (s *Server) snap() *Snapshot { return s.current.Load() }
+
+// Snapshot returns the currently published snapshot (programmatic access
+// for tests, benchmarks and embedding applications). The caller must treat
+// everything reachable from it as read-only.
+func (s *Server) Snapshot() *Snapshot { return s.snap() }
