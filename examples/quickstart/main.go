@@ -60,6 +60,6 @@ func main() {
 	fmt.Println("\nConfidence for the Statue of Liberty:")
 	ov := idx.View("Statue of Liberty")
 	for i, v := range ov.CI.Values {
-		fmt.Printf("  %-15s %.4f\n", v, model.Mu["Statue of Liberty"][i])
+		fmt.Printf("  %-15s %.4f\n", v, model.MuOf("Statue of Liberty")[i])
 	}
 }

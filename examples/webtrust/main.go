@@ -30,7 +30,7 @@ func main() {
 	}
 	var rows []srcRow
 	for _, s := range idx.SourceNames {
-		n := len(idx.SourceObjects[s])
+		n := len(idx.ObjectsOfSource(s))
 		if n >= 5 {
 			rows = append(rows, srcRow{s, n, m.PhiOf(s)})
 		}
@@ -51,9 +51,10 @@ func main() {
 		worst := rows[len(rows)-1]
 		fmt.Printf("\nsuspected extraction errors of %s:\n", worst.name)
 		shown := 0
-		for _, o := range idx.SourceObjects[worst.name] {
+		for _, o := range idx.ObjectsOfSource(worst.name) {
 			ov := idx.View(o)
-			claimed := ov.CI.Values[ov.SourceClaims[worst.name]]
+			ci, _ := ov.SourceClaim(worst.name)
+			claimed := ov.CI.Values[ci]
 			if claimed != truths[o] && (ds.H == nil || !ds.H.IsAncestor(claimed, truths[o])) {
 				fmt.Printf("  %-12s claimed %-22s inferred %s\n", o, claimed, truths[o])
 				shown++

@@ -140,7 +140,7 @@ func TestLemma41UpperBound(t *testing.T) {
 				continue
 			}
 			eai := EAIOf(f.m, nObj, w, o)
-			ub := (1 - f.m.MaxConfidence(o)) / (float64(nObj) * (f.m.D[o] + 1))
+			ub := (1 - f.m.MaxConfidence(o)) / (float64(nObj) * (f.m.DOf(o) + 1))
 			if eai > ub+1e-12 {
 				t.Fatalf("EAI(%s,%s)=%v exceeds UEAI=%v", w, o, eai, ub)
 			}

@@ -107,10 +107,16 @@ func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
 	}
 
 	// Upper bounds UEAI(o) = (1 - max μ) / (|O|·(D_o + 1))  (Lemma 4.1).
+	// Object names come from the assignment context; dense IDs are resolved
+	// through the MODEL's index, which may lag a freshly rebuilt ctx.Idx.
 	ub := make(ueaiHeap, 0, len(ctx.Idx.Objects))
 	ubOf := make(map[string]float64, len(ctx.Idx.Objects))
 	for _, o := range ctx.Idx.Objects {
-		b := (1 - m.MaxConfidence(o)) / (nObj * (m.D[o] + 1))
+		oid, ok := m.Idx.ObjectID(o)
+		if !ok {
+			continue // object unknown to the fitted model; skip until refit
+		}
+		b := (1 - m.MaxConfidenceAt(oid)) / (nObj * (m.D[oid] + 1))
 		ubOf[o] = b
 		ub = append(ub, ueaiEntry{b, o})
 	}
@@ -186,18 +192,24 @@ func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
 	return out, stats
 }
 
-// eai computes EAI(w, o) per Eqs. (14)–(15) with the incremental EM.
+// eai computes EAI(w, o) per Eqs. (14)–(15) with the incremental EM. The
+// object name resolves to its dense ID once; the per-answer loop then runs
+// entirely on ID-indexed state.
 func (e EAI) eai(m *core.Model, ctx *Context, w, o string, nObj float64) float64 {
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return 0
+	}
 	psi := m.PsiOf(w)
-	mu := m.Mu[o]
+	mu := m.Mu[oid]
 	cur := maxOf(mu)
 	exp := 0.0
 	for ans := range mu {
-		pAns := m.AnswerLikelihood(o, psi, ans)
+		pAns := m.AnswerLikelihoodAt(oid, psi, ans)
 		if pAns <= 0 {
 			continue
 		}
-		exp += pAns * m.CondMaxConfidence(o, psi, ans)
+		exp += pAns * m.CondMaxConfidenceAt(oid, psi, ans)
 	}
 	score := (exp - cur) / nObj
 	// Clamp the numerical noise floor: when no single answer can move the

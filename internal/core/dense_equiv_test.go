@@ -1,0 +1,452 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/synth"
+)
+
+// This file pins the dense-ID engine (precomputed relationship/popularity
+// tables, scratch-buffer E-step) to a reference implementation that mirrors
+// the seed engine: relationship by linear ancestor scan, Pop2/Pop3 computed
+// on the fly, per-iteration accumulator allocation, division instead of
+// precomputed reciprocals. Both must agree on Truths exactly and on
+// μ/φ/ψ within 1e-9 on the synthetic workloads.
+
+// refEngine is the seed EM, ID-indexed for convenience but using none of
+// the precomputed tables.
+type refEngine struct {
+	idx *data.Index
+	opt Options
+	mu  [][]float64
+	phi [][3]float64
+	psi [][3]float64
+	n   [][]float64
+	d   []float64
+	it  int
+}
+
+func refRelationship(ov *data.ObjectView, c, tr int) int {
+	if c == tr {
+		return 1
+	}
+	for _, a := range ov.CI.Anc[tr] {
+		if a == c {
+			return 2
+		}
+	}
+	return 3
+}
+
+func refPop2(ov *data.ObjectView, v, tr int) float64 {
+	den := 0
+	for _, a := range ov.CI.Anc[tr] {
+		den += ov.ValueCount[a]
+	}
+	if den == 0 {
+		if g := ov.CI.GoSize(tr); g > 0 {
+			return 1.0 / float64(g)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+func refPop3(ov *data.ObjectView, v, tr int) float64 {
+	den := 0
+	wrong := 0
+	isAncOfTr := make(map[int]bool, len(ov.CI.Anc[tr]))
+	for _, a := range ov.CI.Anc[tr] {
+		isAncOfTr[a] = true
+	}
+	for i, c := range ov.ValueCount {
+		if i == tr || isAncOfTr[i] {
+			continue
+		}
+		wrong++
+		den += c
+	}
+	if den == 0 {
+		if wrong > 0 {
+			return 1.0 / float64(wrong)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+func (r *refEngine) flat(ov *data.ObjectView) bool {
+	return r.opt.FlatModel || !ov.CI.Hier
+}
+
+func (r *refEngine) sourceProb(ov *data.ObjectView, c, tr int, phi [3]float64) float64 {
+	nV := ov.CI.NumValues()
+	if r.flat(ov) {
+		if nV <= 1 {
+			return 1
+		}
+		if c == tr {
+			return phi[0] + phi[1]
+		}
+		return math.Max(phi[2]/float64(nV-1), eps)
+	}
+	goSize := ov.CI.GoSize(tr)
+	rest := nV - goSize - 1
+	scale := caseScale(phi, goSize > 0, rest > 0)
+	switch refRelationship(ov, c, tr) {
+	case 1:
+		return math.Max(scale*phi[0], eps)
+	case 2:
+		return math.Max(scale*phi[1]/float64(goSize), eps)
+	default:
+		if rest <= 0 {
+			return eps
+		}
+		return math.Max(scale*phi[2]/float64(rest), eps)
+	}
+}
+
+func (r *refEngine) workerProb(ov *data.ObjectView, c, tr int, psi [3]float64) float64 {
+	nV := ov.CI.NumValues()
+	if r.flat(ov) {
+		if nV <= 1 {
+			return 1
+		}
+		if c == tr {
+			return psi[0] + psi[1]
+		}
+		p3 := 1.0 / float64(nV-1)
+		if !r.opt.UniformWorkerErrors {
+			p3 = refPop3(ov, c, tr)
+		}
+		return math.Max(psi[2]*p3, eps)
+	}
+	goSize := ov.CI.GoSize(tr)
+	rest := nV - goSize - 1
+	scale := caseScale(psi, goSize > 0, rest > 0)
+	switch refRelationship(ov, c, tr) {
+	case 1:
+		return math.Max(scale*psi[0], eps)
+	case 2:
+		p2 := 1.0 / float64(goSize)
+		if !r.opt.UniformWorkerErrors {
+			p2 = refPop2(ov, c, tr)
+		}
+		return math.Max(scale*psi[1]*p2, eps)
+	default:
+		if rest <= 0 {
+			return eps
+		}
+		p3 := 1.0 / float64(rest)
+		if !r.opt.UniformWorkerErrors {
+			p3 = refPop3(ov, c, tr)
+		}
+		return math.Max(scale*psi[2]*p3, eps)
+	}
+}
+
+func (r *refEngine) posterior(ov *data.ObjectView, mu []float64, c int, theta [3]float64, worker bool) []float64 {
+	f := make([]float64, len(mu))
+	z := 0.0
+	for tr := range mu {
+		var p float64
+		if worker {
+			p = r.workerProb(ov, c, tr, theta)
+		} else {
+			p = r.sourceProb(ov, c, tr, theta)
+		}
+		p *= mu[tr]
+		f[tr] = p
+		z += p
+	}
+	if z <= 0 {
+		u := 1.0 / float64(len(f))
+		for i := range f {
+			f[i] = u
+		}
+		return f
+	}
+	for i := range f {
+		f[i] /= z
+	}
+	return f
+}
+
+func (r *refEngine) classPost(ov *data.ObjectView, c int, theta [3]float64, f []float64) [3]float64 {
+	var g [3]float64
+	if r.flat(ov) {
+		split := theta[0] + theta[1]
+		if split <= 0 {
+			split = 1
+		}
+		g[0] = f[c] * theta[0] / split
+		g[1] = f[c] * theta[1] / split
+		for i, fi := range f {
+			if i != c {
+				g[2] += fi
+			}
+		}
+		return g
+	}
+	for tr, fi := range f {
+		switch refRelationship(ov, c, tr) {
+		case 1:
+			g[0] += fi
+		case 2:
+			g[1] += fi
+		default:
+			g[2] += fi
+		}
+	}
+	return g
+}
+
+func (r *refEngine) step() float64 {
+	idx := r.idx
+	muNum := make([][]float64, len(r.mu))
+	for i := range r.mu {
+		muNum[i] = make([]float64, len(r.mu[i]))
+	}
+	phiNum := make([][3]float64, len(r.phi))
+	psiNum := make([][3]float64, len(r.psi))
+	for oid := range idx.Views {
+		ov := idx.ViewAt(oid)
+		mu := r.mu[oid]
+		for _, cl := range ov.SourceClaims {
+			phi := r.phi[cl.Part]
+			f := r.posterior(ov, mu, int(cl.Val), phi, false)
+			for i, fi := range f {
+				muNum[oid][i] += fi
+			}
+			g := r.classPost(ov, int(cl.Val), phi, f)
+			phiNum[cl.Part][0] += g[0]
+			phiNum[cl.Part][1] += g[1]
+			phiNum[cl.Part][2] += g[2]
+		}
+		for _, cl := range ov.WorkerClaims {
+			psi := r.psi[cl.Part]
+			f := r.posterior(ov, mu, int(cl.Val), psi, true)
+			for i, fi := range f {
+				muNum[oid][i] += fi
+			}
+			g := r.classPost(ov, int(cl.Val), psi, f)
+			psiNum[cl.Part][0] += g[0]
+			psiNum[cl.Part][1] += g[1]
+			psiNum[cl.Part][2] += g[2]
+		}
+	}
+	gamma := r.opt.Gamma
+	maxDelta := 0.0
+	for oid, mu := range r.mu {
+		ov := idx.ViewAt(oid)
+		nClaims := len(ov.SourceClaims) + len(ov.WorkerClaims)
+		den := float64(nClaims) + float64(len(mu))*(gamma-1)
+		if den <= 0 {
+			continue
+		}
+		for i := range mu {
+			v := (muNum[oid][i] + gamma - 1) / den
+			if d := math.Abs(v - mu[i]); d > maxDelta {
+				maxDelta = d
+			}
+			mu[i] = v
+		}
+	}
+	alphaSum := r.opt.Alpha[0] + r.opt.Alpha[1] + r.opt.Alpha[2] - 3
+	for sid := range r.phi {
+		den := float64(len(idx.SourceObjIDs[sid])) + alphaSum
+		if den <= 0 {
+			continue
+		}
+		r.phi[sid] = normalize3([3]float64{
+			(phiNum[sid][0] + r.opt.Alpha[0] - 1) / den,
+			(phiNum[sid][1] + r.opt.Alpha[1] - 1) / den,
+			(phiNum[sid][2] + r.opt.Alpha[2] - 1) / den,
+		})
+	}
+	betaSum := r.opt.Beta[0] + r.opt.Beta[1] + r.opt.Beta[2] - 3
+	for wid := range r.psi {
+		den := float64(len(idx.WorkerObjIDs[wid])) + betaSum
+		if den <= 0 {
+			continue
+		}
+		r.psi[wid] = normalize3([3]float64{
+			(psiNum[wid][0] + r.opt.Beta[0] - 1) / den,
+			(psiNum[wid][1] + r.opt.Beta[1] - 1) / den,
+			(psiNum[wid][2] + r.opt.Beta[2] - 1) / den,
+		})
+	}
+	return maxDelta
+}
+
+// refRun mirrors core.Run: initialize, iterate to tolerance, refresh
+// sufficient statistics, re-derive μ = N/D.
+func refRun(idx *data.Index, opt Options) *refEngine {
+	opt = opt.WithDefaults()
+	r := &refEngine{idx: idx, opt: opt}
+	// Initialization is identical by construction: reuse the model's.
+	m := NewModel(idx, opt)
+	r.mu = make([][]float64, len(m.Mu))
+	for i, mu := range m.Mu {
+		r.mu[i] = append([]float64(nil), mu...)
+	}
+	r.phi = append([][3]float64(nil), m.Phi...)
+	r.psi = append([][3]float64(nil), m.Psi...)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		r.it = iter + 1
+		if r.step() < opt.Tol {
+			break
+		}
+	}
+	r.n = make([][]float64, len(r.mu))
+	r.d = make([]float64, len(r.mu))
+	gamma := opt.Gamma
+	for oid := range idx.Views {
+		ov := idx.ViewAt(oid)
+		mu := r.mu[oid]
+		num := make([]float64, len(mu))
+		for _, cl := range ov.SourceClaims {
+			f := r.posterior(ov, mu, int(cl.Val), r.phi[cl.Part], false)
+			for i, fi := range f {
+				num[i] += fi
+			}
+		}
+		for _, cl := range ov.WorkerClaims {
+			f := r.posterior(ov, mu, int(cl.Val), r.psi[cl.Part], true)
+			for i, fi := range f {
+				num[i] += fi
+			}
+		}
+		for i := range num {
+			num[i] += gamma - 1
+		}
+		r.n[oid] = num
+		r.d[oid] = float64(len(ov.SourceClaims)+len(ov.WorkerClaims)) + float64(len(mu))*(gamma-1)
+	}
+	for oid, mu := range r.mu {
+		if r.d[oid] <= 0 {
+			continue
+		}
+		for i := range mu {
+			mu[i] = r.n[oid][i] / r.d[oid]
+		}
+	}
+	return r
+}
+
+func (r *refEngine) truths() map[string]string {
+	out := make(map[string]string, len(r.mu))
+	for oid, mu := range r.mu {
+		ov := r.idx.ViewAt(oid)
+		best, bestP, bestDepth := "", -1.0, -1
+		for i, p := range mu {
+			v := ov.CI.Values[i]
+			d := 0
+			if r.idx.DS.H != nil {
+				d = r.idx.DS.H.Depth(v)
+			}
+			if p > bestP+1e-15 || (p > bestP-1e-15 && (d > bestDepth || (d == bestDepth && (best == "" || v < best)))) {
+				best, bestP, bestDepth = v, p, d
+			}
+		}
+		out[ov.Object] = best
+	}
+	return out
+}
+
+func checkDenseMatchesReference(t *testing.T, ds *data.Dataset, opt Options) {
+	t.Helper()
+	idx := data.NewIndex(ds)
+	m := Run(idx, opt)
+	ref := refRun(data.NewIndex(ds), opt)
+
+	if m.Iterations != ref.it {
+		t.Fatalf("iteration counts differ: dense=%d reference=%d", m.Iterations, ref.it)
+	}
+	want := ref.truths()
+	for o, v := range m.Truths() {
+		if want[o] != v {
+			t.Fatalf("truth differs on %s: dense=%q reference=%q", o, v, want[o])
+		}
+	}
+	const tol = 1e-9
+	for oid, mu := range m.Mu {
+		for i := range mu {
+			if math.Abs(mu[i]-ref.mu[oid][i]) > tol {
+				t.Fatalf("mu differs on %s[%d]: dense=%v reference=%v",
+					idx.Objects[oid], i, mu[i], ref.mu[oid][i])
+			}
+		}
+	}
+	for sid, phi := range m.Phi {
+		for i := 0; i < 3; i++ {
+			if math.Abs(phi[i]-ref.phi[sid][i]) > tol {
+				t.Fatalf("phi differs on %s: dense=%v reference=%v",
+					idx.SourceNames[sid], phi, ref.phi[sid])
+			}
+		}
+	}
+	for wid, psi := range m.Psi {
+		for i := 0; i < 3; i++ {
+			if math.Abs(psi[i]-ref.psi[wid][i]) > tol {
+				t.Fatalf("psi differs on %s: dense=%v reference=%v",
+					idx.WorkerNames[wid], psi, ref.psi[wid])
+			}
+		}
+	}
+	for oid := range m.N {
+		if math.Abs(m.D[oid]-ref.d[oid]) > tol {
+			t.Fatalf("D differs on %s", idx.Objects[oid])
+		}
+		for i := range m.N[oid] {
+			if math.Abs(m.N[oid][i]-ref.n[oid][i]) > tol {
+				t.Fatalf("N differs on %s[%d]", idx.Objects[oid], i)
+			}
+		}
+	}
+}
+
+func TestDenseEngineMatchesSeedBirthPlaces(t *testing.T) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 11, Scale: 0.03})
+	checkDenseMatchesReference(t, ds, DefaultOptions())
+}
+
+func TestDenseEngineMatchesSeedHeritages(t *testing.T) {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 11, Scale: 0.1})
+	checkDenseMatchesReference(t, ds, DefaultOptions())
+}
+
+func TestDenseEngineMatchesSeedWithWorkersAndAblations(t *testing.T) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 5, Scale: 0.02})
+	// Crowd answers exercise the worker model (Pop2/Pop3 tables).
+	objs := ds.Objects()
+	for i, o := range objs {
+		if i%3 == 0 {
+			ds.Answers = append(ds.Answers, data.Answer{
+				Object: o, Worker: "w" + string(rune('a'+i%7)), Value: ds.Truth[o],
+			})
+		}
+	}
+	for _, opt := range []Options{
+		DefaultOptions(),
+		func() Options { o := DefaultOptions(); o.FlatModel = true; return o }(),
+		func() Options { o := DefaultOptions(); o.UniformWorkerErrors = true; return o }(),
+	} {
+		checkDenseMatchesReference(t, ds, opt)
+	}
+}
+
+// TestStepSteadyStateAllocs: after the first iteration builds the scratch
+// buffers, further EM iterations must not allocate.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 2, Scale: 0.02})
+	idx := data.NewIndex(ds)
+	m := NewModel(idx, DefaultOptions())
+	m.StepOnce() // warm up scratch
+	allocs := testing.AllocsPerRun(5, func() { m.StepOnce() })
+	if allocs > 0 {
+		t.Fatalf("sequential StepOnce allocates %v per iteration in steady state", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/data"
 )
@@ -13,19 +14,23 @@ import (
 // under the current parameters. M-step (Eqs. 9–11): μ, φ and ψ are updated
 // from the aggregated posteriors plus their Dirichlet priors. The loop
 // stops when the largest confidence change falls below Options.Tol.
+//
+// The E-step runs in two allocation-free passes over reusable scratch
+// buffers: pass A walks objects (range-partitioned across workers),
+// computing each claim's truth posterior — pure table lookups thanks to the
+// precomputed relationship/popularity tables in data.ObjectView — and
+// storing the per-claim class posterior; pass B reduces those per-claim
+// posteriors participant-major through the index's CSR transpose. Because
+// every float is accumulated in an order fixed by the index (never by the
+// goroutine schedule), results are bit-for-bit identical for any worker
+// count.
 func Run(idx *data.Index, opt Options) *Model {
 	m := NewModel(idx, opt)
 	opt = m.Opt
 	workers := opt.effectiveWorkers()
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		m.Iterations = iter + 1
-		var delta float64
-		if workers > 1 {
-			delta = m.stepParallel(workers)
-		} else {
-			delta = m.step()
-		}
-		if delta < opt.Tol {
+		if delta := m.step(workers); delta < opt.Tol {
 			break
 		}
 	}
@@ -34,8 +39,8 @@ func Run(idx *data.Index, opt Options) *Model {
 	// final parameters, then re-derive μ = N/D so the exported confidences
 	// and the sufficient statistics agree exactly.
 	m.refreshSufficientStats()
-	for o, mu := range m.Mu {
-		n, d := m.N[o], m.D[o]
+	for oid, mu := range m.Mu {
+		n, d := m.N[oid], m.D[oid]
 		if d <= 0 {
 			continue
 		}
@@ -50,41 +55,67 @@ func Run(idx *data.Index, opt Options) *Model {
 // Most callers want Run; NewModel + StepOnce let streaming applications and
 // convergence tests drive the EM themselves.
 func NewModel(idx *data.Index, opt Options) *Model {
-	opt = opt.WithDefaults()
-	m := &Model{
-		Idx: idx,
-		Opt: opt,
-		Mu:  make(map[string][]float64, len(idx.Objects)),
-		Phi: make(map[string][3]float64, len(idx.SourceNames)),
-		Psi: make(map[string][3]float64, len(idx.WorkerNames)),
-		N:   make(map[string][]float64, len(idx.Objects)),
-		D:   make(map[string]float64, len(idx.Objects)),
-	}
+	m := newModelShell(idx, opt)
 	m.initialize()
 	return m
 }
 
-// initialize sets μ to a smoothed, hierarchy-aware vote distribution and
-// φ, ψ to their prior means. A candidate earns full credit for its own
+// newModelShell allocates the dense parameter arrays with φ/ψ at their
+// prior means and μ zeroed — the shared skeleton of NewModel (which adds
+// the vote initialization) and Load (which overwrites everything from a
+// snapshot).
+func newModelShell(idx *data.Index, opt Options) *Model {
+	opt = opt.WithDefaults()
+	m := &Model{
+		Idx: idx,
+		Opt: opt,
+		Phi: make([][3]float64, len(idx.SourceNames)),
+		Psi: make([][3]float64, len(idx.WorkerNames)),
+		D:   make([]float64, len(idx.Objects)),
+	}
+	m.off = make([]int, len(idx.Objects)+1)
+	for i := range idx.Views {
+		m.off[i+1] = m.off[i] + idx.Views[i].CI.NumValues()
+	}
+	m.Mu, m.muFlat = newJagged(m.off)
+	m.N, m.nFlat = newJagged(m.off)
+	phi0 := priorMean(opt.Alpha)
+	for s := range m.Phi {
+		m.Phi[s] = phi0
+	}
+	psi0 := priorMean(opt.Beta)
+	for w := range m.Psi {
+		m.Psi[w] = psi0
+	}
+	return m
+}
+
+// initialize sets μ to a smoothed, hierarchy-aware vote distribution
+// (φ and ψ start at their prior means, set by newModelShell). A candidate
+// earns full credit for its own
 // claims and half credit for claims on hierarchically related candidates
 // (ancestors or descendants), so a specific value whose support is spread
 // across generalization levels starts ahead of an unrelated value with a
 // couple of exact repeats — steering the EM toward the hierarchical mode
 // of the posterior instead of a flat-vote local optimum.
 func (m *Model) initialize() {
-	for _, o := range m.Idx.Objects {
-		ov := m.Idx.View(o)
+	counts := []float64(nil)
+	for oid := range m.Idx.Views {
+		ov := m.Idx.ViewAt(oid)
 		n := ov.CI.NumValues()
-		counts := make([]float64, n)
+		if cap(counts) < n {
+			counts = make([]float64, n)
+		}
+		counts = counts[:n]
 		for i := range counts {
 			counts[i] = float64(ov.ValueCount[i])
 		}
 		// Worker answers count too so crowdsourced values are not ignored
 		// at initialization.
-		for _, ci := range ov.WorkerClaims {
-			counts[ci]++
+		for _, cl := range ov.WorkerClaims {
+			counts[cl.Val]++
 		}
-		mu := make([]float64, n)
+		mu := m.Mu[oid]
 		total := 0.0
 		for i := range mu {
 			mu[i] = counts[i] + 1
@@ -101,209 +132,145 @@ func (m *Model) initialize() {
 		for i := range mu {
 			mu[i] /= total
 		}
-		m.Mu[o] = mu
 	}
-	for _, s := range m.Idx.SourceNames {
-		m.Phi[s] = priorMean(m.Opt.Alpha)
+}
+
+// emScratch holds the E-step working set, allocated once per Model and
+// reused every iteration so the steady state allocates nothing.
+type emScratch struct {
+	muNum []float64    // flat μ numerators, same layout as Model.muFlat
+	srcG  [][3]float64 // class posterior of every source claim (global ID)
+	wkrG  [][3]float64 // class posterior of every worker answer (global ID)
+	fBufs [][]float64  // per-goroutine truth-posterior buffers
+}
+
+// scratch returns the reusable E-step buffers, growing fBufs to nWorkers.
+func (m *Model) scratch(nWorkers int) *emScratch {
+	if m.scr == nil {
+		maxNV := 0
+		for i := range m.Idx.Views {
+			if n := m.Idx.Views[i].CI.NumValues(); n > maxNV {
+				maxNV = n
+			}
+		}
+		m.scr = &emScratch{
+			muNum: make([]float64, len(m.muFlat)),
+			srcG:  make([][3]float64, m.Idx.NumSourceClaims()),
+			wkrG:  make([][3]float64, m.Idx.NumWorkerClaims()),
+		}
+		m.scrMaxNV = maxNV
 	}
-	for _, w := range m.Idx.WorkerNames {
-		m.Psi[w] = priorMean(m.Opt.Beta)
+	for len(m.scr.fBufs) < nWorkers {
+		m.scr.fBufs = append(m.scr.fBufs, make([]float64, m.scrMaxNV))
 	}
+	return m.scr
 }
 
 // step runs one full E+M iteration and returns the max confidence delta.
-func (m *Model) step() float64 {
-	// Accumulators for the M-step.
-	muNum := make(map[string][]float64, len(m.Mu))
-	for o, mu := range m.Mu {
-		muNum[o] = make([]float64, len(mu))
+// workers > 1 parallelizes both E-step passes; results are independent of
+// the worker count.
+func (m *Model) step(workers int) float64 {
+	nObj := len(m.Idx.Views)
+	if workers > nObj {
+		workers = nObj
 	}
-	phiNum := make(map[string][3]float64, len(m.Phi))
-	psiNum := make(map[string][3]float64, len(m.Psi))
+	if workers < 1 {
+		workers = 1
+	}
+	scr := m.scratch(workers)
+	clear(scr.muNum)
 
-	f := make([]float64, 0, 16)
+	// Pass A: per-object truth posteriors. Objects are range-partitioned;
+	// each goroutine owns a contiguous ID range, so every muNum segment and
+	// every per-claim slot is written by exactly one goroutine.
+	if workers == 1 {
+		m.eStepObjects(0, nObj, scr.muNum, scr, scr.fBufs[0])
+	} else {
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			lo, hi := g*nObj/workers, (g+1)*nObj/workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int, f []float64) {
+				defer wg.Done()
+				m.eStepObjects(lo, hi, scr.muNum, scr, f)
+			}(lo, hi, scr.fBufs[g])
+		}
+		wg.Wait()
+	}
 
-	// Source records.
-	for _, o := range m.Idx.Objects {
-		ov := m.Idx.View(o)
-		mu := m.Mu[o]
-		for s, c := range ov.SourceClaims {
-			phi := m.Phi[s]
-			f = posteriorSource(m, ov, mu, c, phi, f[:0])
-			acc := muNum[o]
-			for i, fi := range f {
+	// Pass B folded into the M-step: per-participant reductions over the
+	// CSR transpose (order fixed by the index, not the schedule).
+	return m.mStep(scr, workers)
+}
+
+// eStepObjects computes, for every claim of objects [lo, hi): the truth
+// posterior f (accumulated into the object's μ numerator) and the
+// relationship-class posterior g (stored per claim for pass B).
+func (m *Model) eStepObjects(lo, hi int, muNum []float64, scr *emScratch, f []float64) {
+	for oid := lo; oid < hi; oid++ {
+		ov := m.Idx.ViewAt(oid)
+		mu := m.Mu[oid]
+		acc := muNum[m.off[oid]:m.off[oid+1]]
+		flat := flatObject(m, ov)
+		sBase := int(m.Idx.SrcClaimStart[oid])
+		for k, cl := range ov.SourceClaims {
+			phi := m.Phi[cl.Part]
+			fr := f[:len(mu)]
+			m.sourceClaimRow(ov, int(cl.Val), phi, flat, fr)
+			posteriorFromRow(fr, mu)
+			for i, fi := range fr {
 				acc[i] += fi
 			}
-			g := m.classPosteriorSource(ov, mu, c, phi, f)
-			pn := phiNum[s]
-			pn[0] += g[0]
-			pn[1] += g[1]
-			pn[2] += g[2]
-			phiNum[s] = pn
+			scr.srcG[sBase+k] = classPosterior(ov, int(cl.Val), phi, flat, fr)
 		}
-		for w, c := range ov.WorkerClaims {
-			psi := m.Psi[w]
-			f = posteriorWorker(m, ov, mu, c, psi, f[:0])
-			acc := muNum[o]
-			for i, fi := range f {
+		wBase := int(m.Idx.WkrClaimStart[oid])
+		for k, cl := range ov.WorkerClaims {
+			psi := m.Psi[cl.Part]
+			fr := f[:len(mu)]
+			m.workerClaimRow(ov, int(cl.Val), psi, flat, fr)
+			posteriorFromRow(fr, mu)
+			for i, fi := range fr {
 				acc[i] += fi
 			}
-			g := m.classPosteriorWorker(ov, mu, c, psi, f)
-			pn := psiNum[w]
-			pn[0] += g[0]
-			pn[1] += g[1]
-			pn[2] += g[2]
-			psiNum[w] = pn
+			scr.wkrG[wBase+k] = classPosterior(ov, int(cl.Val), psi, flat, fr)
 		}
-	}
-	return m.mStep(muNum, phiNum, psiNum)
-}
-
-// mStep applies the M-step updates (Eqs. 9-11) from the aggregated E-step
-// posteriors and returns the max confidence delta.
-func (m *Model) mStep(muNum map[string][]float64, phiNum, psiNum map[string][3]float64) float64 {
-	gamma := m.Opt.Gamma
-
-	// M-step: μ (Eq. 9).
-	maxDelta := 0.0
-	for o, mu := range m.Mu {
-		ov := m.Idx.View(o)
-		nClaims := len(ov.SourceClaims) + len(ov.WorkerClaims)
-		den := float64(nClaims) + float64(len(mu))*(gamma-1)
-		if den <= 0 {
-			continue
-		}
-		num := muNum[o]
-		for i := range mu {
-			nv := num[i] + gamma - 1
-			v := nv / den
-			if d := math.Abs(v - mu[i]); d > maxDelta {
-				maxDelta = d
-			}
-			mu[i] = v
-		}
-	}
-	// φ (Eq. 10) and ψ (Eq. 11).
-	alphaSum := m.Opt.Alpha[0] + m.Opt.Alpha[1] + m.Opt.Alpha[2] - 3
-	for s := range m.Phi {
-		num := phiNum[s]
-		den := float64(len(m.Idx.SourceObjects[s])) + alphaSum
-		if den <= 0 {
-			continue
-		}
-		m.Phi[s] = normalize3([3]float64{
-			(num[0] + m.Opt.Alpha[0] - 1) / den,
-			(num[1] + m.Opt.Alpha[1] - 1) / den,
-			(num[2] + m.Opt.Alpha[2] - 1) / den,
-		})
-	}
-	betaSum := m.Opt.Beta[0] + m.Opt.Beta[1] + m.Opt.Beta[2] - 3
-	for w := range m.Psi {
-		num := psiNum[w]
-		den := float64(len(m.Idx.WorkerObjects[w])) + betaSum
-		if den <= 0 {
-			continue
-		}
-		m.Psi[w] = normalize3([3]float64{
-			(num[0] + m.Opt.Beta[0] - 1) / den,
-			(num[1] + m.Opt.Beta[1] - 1) / den,
-			(num[2] + m.Opt.Beta[2] - 1) / den,
-		})
-	}
-	return maxDelta
-}
-
-// refreshSufficientStats recomputes N_{o,v} and D_o (the numerator and
-// denominator of Eq. 9) under the final parameters.
-func (m *Model) refreshSufficientStats() {
-	gamma := m.Opt.Gamma
-	f := make([]float64, 0, 16)
-	for _, o := range m.Idx.Objects {
-		ov := m.Idx.View(o)
-		mu := m.Mu[o]
-		num := make([]float64, len(mu))
-		for s, c := range ov.SourceClaims {
-			f = posteriorSource(m, ov, mu, c, m.Phi[s], f[:0])
-			for i, fi := range f {
-				num[i] += fi
-			}
-		}
-		for w, c := range ov.WorkerClaims {
-			f = posteriorWorker(m, ov, mu, c, m.Psi[w], f[:0])
-			for i, fi := range f {
-				num[i] += fi
-			}
-		}
-		for i := range num {
-			num[i] += gamma - 1
-		}
-		m.N[o] = num
-		m.D[o] = float64(len(ov.SourceClaims)+len(ov.WorkerClaims)) + float64(len(mu))*(gamma-1)
 	}
 }
 
-// posteriorSource computes f^v_{o,s} = P(v*_o = v | v_o^s = c, μ, φ) for
-// every candidate v, appending into dst.
-func posteriorSource(m *Model, ov *data.ObjectView, mu []float64, c int, phi [3]float64, dst []float64) []float64 {
+// posteriorFromRow turns a claim-probability row into the truth posterior
+// f^v in place: f[tr] = P(claim | tr)·μ_tr, normalized (uniform when the
+// total mass underflows to zero).
+func posteriorFromRow(f, mu []float64) {
 	z := 0.0
-	for tr := range mu {
-		p := m.sourceClaimProb(ov, c, tr, phi) * mu[tr]
-		dst = append(dst, p)
+	for tr, p := range f {
+		p *= mu[tr]
+		f[tr] = p
 		z += p
 	}
 	if z <= 0 {
-		u := 1.0 / float64(len(dst))
-		for i := range dst {
-			dst[i] = u
+		u := 1.0 / float64(len(f))
+		for i := range f {
+			f[i] = u
 		}
-		return dst
+		return
 	}
-	for i := range dst {
-		dst[i] /= z
+	for i := range f {
+		f[i] /= z
 	}
-	return dst
 }
 
-// posteriorWorker is posteriorSource for worker answers (ψ and Pop terms).
-func posteriorWorker(m *Model, ov *data.ObjectView, mu []float64, c int, psi [3]float64, dst []float64) []float64 {
-	z := 0.0
-	for tr := range mu {
-		p := m.workerClaimProb(ov, c, tr, psi) * mu[tr]
-		dst = append(dst, p)
-		z += p
-	}
-	if z <= 0 {
-		u := 1.0 / float64(len(dst))
-		for i := range dst {
-			dst[i] = u
-		}
-		return dst
-	}
-	for i := range dst {
-		dst[i] /= z
-	}
-	return dst
-}
-
-// classPosteriorSource computes (g¹,g²,g³)_{o,s} from the truth posterior f:
-// the relationship classes partition the candidate space, so g^t is the
-// f-mass of candidates in relationship t with the claim (Figure 4). For
-// truths whose likelihood merged the exact and generalized cases (Eq. 2 —
-// whole objects outside OH, and candidate truths without candidate
-// ancestors), the exact-match mass splits between classes 1 and 2 in
-// proportion φ₁:φ₂.
-func (m *Model) classPosteriorSource(ov *data.ObjectView, mu []float64, c int, phi [3]float64, f []float64) [3]float64 {
-	return m.classPosterior(ov, c, phi, f)
-}
-
-// classPosteriorWorker mirrors classPosteriorSource for worker answers.
-func (m *Model) classPosteriorWorker(ov *data.ObjectView, mu []float64, c int, psi [3]float64, f []float64) [3]float64 {
-	return m.classPosterior(ov, c, psi, f)
-}
-
-func (m *Model) classPosterior(ov *data.ObjectView, c int, theta [3]float64, f []float64) [3]float64 {
+// classPosterior computes (g¹,g²,g³) from the truth posterior f: the
+// relationship classes partition the candidate space, so g^t is the f-mass
+// of candidates in relationship t with the claim (Figure 4). For truths
+// whose likelihood merged the exact and generalized cases (Eq. 2 — whole
+// objects outside OH, and candidate truths without candidate ancestors),
+// the exact-match mass splits between classes 1 and 2 in proportion θ₁:θ₂.
+func classPosterior(ov *data.ObjectView, c int, theta [3]float64, flat bool, f []float64) [3]float64 {
 	var g [3]float64
-	if flatObject(m, ov) {
+	if flat {
 		// Eq. (2): the exact-match likelihood carried θ₁+θ₂, so its mass
 		// splits between classes 1 and 2 in that proportion.
 		split := theta[0] + theta[1]
@@ -319,8 +286,21 @@ func (m *Model) classPosterior(ov *data.ObjectView, c int, theta [3]float64, f [
 		}
 		return g
 	}
+	if rel := ov.RelRow(c); rel != nil {
+		for tr, fi := range f {
+			switch rel[tr] {
+			case 1:
+				g[0] += fi
+			case 2:
+				g[1] += fi
+			default:
+				g[2] += fi
+			}
+		}
+		return g
+	}
 	for tr, fi := range f {
-		switch relationship(ov, c, tr) {
+		switch ov.Rel(c, tr) {
 		case 1:
 			g[0] += fi
 		case 2:
@@ -330,6 +310,179 @@ func (m *Model) classPosterior(ov *data.ObjectView, c int, theta [3]float64, f [
 		}
 	}
 	return g
+}
+
+// mStep applies the M-step updates (Eqs. 9–11) from the aggregated E-step
+// posteriors and returns the max confidence delta. The φ/ψ numerators are
+// reduced here from the per-claim class posteriors, participant-major, in
+// index order.
+func (m *Model) mStep(scr *emScratch, workers int) float64 {
+	nObj := len(m.Idx.Views)
+	if workers <= 1 {
+		maxDelta := m.updateMu(scr, 0, nObj)
+		m.updatePhi(scr, 0, len(m.Phi))
+		m.updatePsi(scr, 0, len(m.Psi))
+		return maxDelta
+	}
+	var wg sync.WaitGroup
+	deltas := make([]float64, workers)
+	for g := 0; g < workers; g++ {
+		lo, hi := g*nObj/workers, (g+1)*nObj/workers
+		pLo, pHi := g*len(m.Phi)/workers, (g+1)*len(m.Phi)/workers
+		qLo, qHi := g*len(m.Psi)/workers, (g+1)*len(m.Psi)/workers
+		wg.Add(1)
+		go func(g, lo, hi, pLo, pHi, qLo, qHi int) {
+			defer wg.Done()
+			deltas[g] = m.updateMu(scr, lo, hi)
+			m.updatePhi(scr, pLo, pHi)
+			m.updatePsi(scr, qLo, qHi)
+		}(g, lo, hi, pLo, pHi, qLo, qHi)
+	}
+	wg.Wait()
+	maxDelta := 0.0
+	for _, d := range deltas {
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
+}
+
+// updateMu applies Eq. (9) to objects [lo, hi) and returns the local max
+// confidence delta.
+func (m *Model) updateMu(scr *emScratch, lo, hi int) float64 {
+	gamma := m.Opt.Gamma
+	localMax := 0.0
+	for oid := lo; oid < hi; oid++ {
+		ov := m.Idx.ViewAt(oid)
+		mu := m.Mu[oid]
+		nClaims := len(ov.SourceClaims) + len(ov.WorkerClaims)
+		den := float64(nClaims) + float64(len(mu))*(gamma-1)
+		if den <= 0 {
+			continue
+		}
+		num := scr.muNum[m.off[oid]:m.off[oid+1]]
+		for i := range mu {
+			nv := num[i] + gamma - 1
+			v := nv / den
+			if d := math.Abs(v - mu[i]); d > localMax {
+				localMax = d
+			}
+			mu[i] = v
+		}
+	}
+	return localMax
+}
+
+// updatePhi applies Eq. (10) to sources [lo, hi), reducing the per-claim
+// class posteriors through the CSR transpose in index order.
+func (m *Model) updatePhi(scr *emScratch, lo, hi int) {
+	alphaSum := m.Opt.Alpha[0] + m.Opt.Alpha[1] + m.Opt.Alpha[2] - 3
+	for sid := lo; sid < hi; sid++ {
+		refs := m.Idx.SourceClaimRefs[sid]
+		var num [3]float64
+		for _, gi := range refs {
+			g := &scr.srcG[gi]
+			num[0] += g[0]
+			num[1] += g[1]
+			num[2] += g[2]
+		}
+		den := float64(len(refs)) + alphaSum
+		if den <= 0 {
+			continue
+		}
+		m.Phi[sid] = normalize3([3]float64{
+			(num[0] + m.Opt.Alpha[0] - 1) / den,
+			(num[1] + m.Opt.Alpha[1] - 1) / den,
+			(num[2] + m.Opt.Alpha[2] - 1) / den,
+		})
+	}
+}
+
+// updatePsi applies Eq. (11) to workers [lo, hi).
+func (m *Model) updatePsi(scr *emScratch, lo, hi int) {
+	betaSum := m.Opt.Beta[0] + m.Opt.Beta[1] + m.Opt.Beta[2] - 3
+	for wid := lo; wid < hi; wid++ {
+		refs := m.Idx.WorkerClaimRefs[wid]
+		var num [3]float64
+		for _, gi := range refs {
+			g := &scr.wkrG[gi]
+			num[0] += g[0]
+			num[1] += g[1]
+			num[2] += g[2]
+		}
+		den := float64(len(refs)) + betaSum
+		if den <= 0 {
+			continue
+		}
+		m.Psi[wid] = normalize3([3]float64{
+			(num[0] + m.Opt.Beta[0] - 1) / den,
+			(num[1] + m.Opt.Beta[1] - 1) / den,
+			(num[2] + m.Opt.Beta[2] - 1) / den,
+		})
+	}
+}
+
+// refreshSufficientStats recomputes N_{o,v} and D_o (the numerator and
+// denominator of Eq. 9) under the final parameters, in parallel over
+// object ranges.
+func (m *Model) refreshSufficientStats() {
+	workers := m.Opt.effectiveWorkers()
+	nObj := len(m.Idx.Views)
+	if workers > nObj {
+		workers = nObj
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scr := m.scratch(workers)
+	gamma := m.Opt.Gamma
+	refresh := func(lo, hi int, f []float64) {
+		for oid := lo; oid < hi; oid++ {
+			ov := m.Idx.ViewAt(oid)
+			mu := m.Mu[oid]
+			flat := flatObject(m, ov)
+			num := m.N[oid]
+			clear(num)
+			for _, cl := range ov.SourceClaims {
+				fr := f[:len(mu)]
+				m.sourceClaimRow(ov, int(cl.Val), m.Phi[cl.Part], flat, fr)
+				posteriorFromRow(fr, mu)
+				for i, fi := range fr {
+					num[i] += fi
+				}
+			}
+			for _, cl := range ov.WorkerClaims {
+				fr := f[:len(mu)]
+				m.workerClaimRow(ov, int(cl.Val), m.Psi[cl.Part], flat, fr)
+				posteriorFromRow(fr, mu)
+				for i, fi := range fr {
+					num[i] += fi
+				}
+			}
+			for i := range num {
+				num[i] += gamma - 1
+			}
+			m.D[oid] = float64(len(ov.SourceClaims)+len(ov.WorkerClaims)) + float64(len(mu))*(gamma-1)
+		}
+	}
+	if workers == 1 {
+		refresh(0, nObj, scr.fBufs[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		lo, hi := g*nObj/workers, (g+1)*nObj/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int, f []float64) {
+			defer wg.Done()
+			refresh(lo, hi, f)
+		}(lo, hi, scr.fBufs[g])
+	}
+	wg.Wait()
 }
 
 func normalize3(v [3]float64) [3]float64 {

@@ -87,7 +87,8 @@ func TestModelInvariants(t *testing.T) {
 	ds := table1Dataset(t)
 	idx := data.NewIndex(ds)
 	m := Run(idx, DefaultOptions())
-	for o, mu := range m.Mu {
+	for oid, mu := range m.Mu {
+		o := idx.Objects[oid]
 		sum := 0.0
 		for _, p := range mu {
 			if p < 0 || p > 1+1e-9 {
@@ -100,14 +101,14 @@ func TestModelInvariants(t *testing.T) {
 		}
 		// μ = N / D must hold after the final stats refresh.
 		for i := range mu {
-			if math.Abs(mu[i]-m.N[o][i]/m.D[o]) > 1e-9 {
+			if math.Abs(mu[i]-m.N[oid][i]/m.D[oid]) > 1e-9 {
 				t.Fatalf("mu != N/D on %s", o)
 			}
 		}
 	}
-	for s, phi := range m.Phi {
+	for sid, phi := range m.Phi {
 		if math.Abs(phi[0]+phi[1]+phi[2]-1) > 1e-9 {
-			t.Fatalf("phi(%s) not a simplex: %v", s, phi)
+			t.Fatalf("phi(%s) not a simplex: %v", idx.SourceNames[sid], phi)
 		}
 	}
 }
@@ -128,13 +129,12 @@ func TestWorkerAnswersShiftConfidence(t *testing.T) {
 	}
 	ov := idx.View("bigben")
 	london := ov.CI.Pos["London"]
-	if m.Mu["bigben"][london] < 0.6 {
-		t.Fatalf("London confidence too low: %v", m.Mu["bigben"])
+	if m.MuOf("bigben")[london] < 0.6 {
+		t.Fatalf("London confidence too low: %v", m.MuOf("bigben"))
 	}
-	for w := range m.Psi {
-		psi := m.Psi[w]
+	for wid, psi := range m.Psi {
 		if math.Abs(psi[0]+psi[1]+psi[2]-1) > 1e-9 {
-			t.Fatalf("psi(%s) not a simplex: %v", w, psi)
+			t.Fatalf("psi(%s) not a simplex: %v", idx.WorkerNames[wid], psi)
 		}
 	}
 }
@@ -150,7 +150,7 @@ func TestFlatModelAblation(t *testing.T) {
 	// smoothed popularity, not by hierarchical support — LibertyIsland no
 	// longer has NY's backing, so its confidence must not dominate.
 	ov := idx.View("statue")
-	mu := m.Mu["statue"]
+	mu := m.MuOf("statue")
 	li := ov.CI.Pos["LibertyIsland"]
 	ny := ov.CI.Pos["NY"]
 	if mu[li] > mu[ny]+0.2 {
@@ -159,9 +159,9 @@ func TestFlatModelAblation(t *testing.T) {
 	// The hierarchical model must give LibertyIsland strictly more
 	// confidence than the flat one.
 	mh := Run(idx, DefaultOptions())
-	if mh.Mu["statue"][li] <= mu[li] {
+	if mh.MuOf("statue")[li] <= mu[li] {
 		t.Fatalf("hierarchy should boost the specific truth: hier=%v flat=%v",
-			mh.Mu["statue"][li], mu[li])
+			mh.MuOf("statue")[li], mu[li])
 	}
 }
 
@@ -232,10 +232,10 @@ func TestDeterminism(t *testing.T) {
 	idx2 := data.NewIndex(ds.Clone())
 	m1 := Run(idx1, DefaultOptions())
 	m2 := Run(idx2, DefaultOptions())
-	for o, mu := range m1.Mu {
+	for oid, mu := range m1.Mu {
 		for i := range mu {
-			if math.Abs(mu[i]-m2.Mu[o][i]) > 1e-12 {
-				t.Fatalf("non-deterministic result on %s", o)
+			if mu[i] != m2.Mu[oid][i] {
+				t.Fatalf("non-deterministic result on %s", idx1.Objects[oid])
 			}
 		}
 	}

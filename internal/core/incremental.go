@@ -3,13 +3,24 @@ package core
 // Incremental EM (Section 4.2): instead of re-running the full EM after a
 // hypothetical extra answer (o, w, v'), perform a single EM step touching
 // only the new answer, using the cached sufficient statistics N_{o,v}, D_o.
+// The hot entry points take dense object IDs; thin name-keyed wrappers are
+// kept for the server and test layers.
 
 // PosteriorGivenAnswer computes f^v_{o,w|v_o^w=ans} (Eq. 16): the posterior
 // over the truth implied by one hypothetical answer at candidate index ans,
 // under worker trustworthiness psi and the current confidences.
 func (m *Model) PosteriorGivenAnswer(o string, psi [3]float64, ans int) []float64 {
-	ov := m.Idx.View(o)
-	mu := m.Mu[o]
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return nil
+	}
+	return m.PosteriorGivenAnswerAt(oid, psi, ans)
+}
+
+// PosteriorGivenAnswerAt is PosteriorGivenAnswer by dense object ID.
+func (m *Model) PosteriorGivenAnswerAt(oid int, psi [3]float64, ans int) []float64 {
+	ov := m.Idx.ViewAt(oid)
+	mu := m.Mu[oid]
 	f := make([]float64, len(mu))
 	z := 0.0
 	for tr := range mu {
@@ -34,9 +45,13 @@ func (m *Model) PosteriorGivenAnswer(o string, psi [3]float64, ans int) []float6
 // (Eq. 18): the confidence distribution after folding in one hypothetical
 // answer with a single incremental EM step.
 func (m *Model) CondConfidence(o string, psi [3]float64, ans int) []float64 {
-	f := m.PosteriorGivenAnswer(o, psi, ans)
-	n := m.N[o]
-	d := m.D[o] + 1
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return nil
+	}
+	f := m.PosteriorGivenAnswerAt(oid, psi, ans)
+	n := m.N[oid]
+	d := m.D[oid] + 1
 	out := make([]float64, len(f))
 	for i := range f {
 		out[i] = (n[i] + f[i]) / d
@@ -46,10 +61,20 @@ func (m *Model) CondConfidence(o string, psi [3]float64, ans int) []float64 {
 
 // CondMaxConfidence returns max_v μ_{o,v | v_o^w = ans} without allocating.
 func (m *Model) CondMaxConfidence(o string, psi [3]float64, ans int) float64 {
-	ov := m.Idx.View(o)
-	mu := m.Mu[o]
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return 0
+	}
+	return m.CondMaxConfidenceAt(oid, psi, ans)
+}
+
+// CondMaxConfidenceAt is CondMaxConfidence by dense object ID — the inner
+// loop of the EAI assigner.
+func (m *Model) CondMaxConfidenceAt(oid int, psi [3]float64, ans int) float64 {
+	ov := m.Idx.ViewAt(oid)
+	mu := m.Mu[oid]
 	// Inline PosteriorGivenAnswer to avoid the slice allocation: compute
-	// unnormalized posteriors and track the max of (N + f)/ (D+1).
+	// unnormalized posteriors and track the max of (N + f)/(D+1).
 	z := 0.0
 	nVals := len(mu)
 	var raw [16]float64
@@ -64,8 +89,8 @@ func (m *Model) CondMaxConfidence(o string, psi [3]float64, ans int) float64 {
 		rawS[tr] = p
 		z += p
 	}
-	n := m.N[o]
-	d := m.D[o] + 1
+	n := m.N[oid]
+	d := m.D[oid] + 1
 	best := 0.0
 	for i := 0; i < nVals; i++ {
 		fi := 0.0
@@ -86,15 +111,19 @@ func (m *Model) CondMaxConfidence(o string, psi [3]float64, ans int) float64 {
 // loop uses the full EM between rounds; this is exposed for streaming use
 // and for tests of the incremental update.
 func (m *Model) ApplyAnswer(o, w string, ans int) {
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return
+	}
 	psi := m.PsiOf(w)
-	f := m.PosteriorGivenAnswer(o, psi, ans)
-	n := m.N[o]
+	f := m.PosteriorGivenAnswerAt(oid, psi, ans)
+	n := m.N[oid]
 	for i := range n {
 		n[i] += f[i]
 	}
-	m.D[o]++
-	mu := m.Mu[o]
-	d := m.D[o]
+	m.D[oid]++
+	mu := m.Mu[oid]
+	d := m.D[oid]
 	for i := range mu {
 		mu[i] = n[i] / d
 	}

@@ -39,7 +39,7 @@ func TestCondConfidenceMatchesManualUpdate(t *testing.T) {
 	cond := m.CondConfidence(o, psi, ans)
 	f := m.PosteriorGivenAnswer(o, psi, ans)
 	for i := range cond {
-		want := (m.N[o][i] + f[i]) / (m.D[o] + 1)
+		want := (m.NOf(o)[i] + f[i]) / (m.DOf(o) + 1)
 		if math.Abs(cond[i]-want) > 1e-12 {
 			t.Fatalf("CondConfidence[%d] = %v, want %v", i, cond[i], want)
 		}
@@ -108,21 +108,21 @@ func TestApplyAnswer(t *testing.T) {
 	o := "bigben"
 	ov := idx.View(o)
 	london := ov.CI.Pos["London"]
-	before := m.Mu[o][london]
-	dBefore := m.D[o]
+	before := m.MuOf(o)[london]
+	dBefore := m.DOf(o)
 	m.ApplyAnswer(o, "fresh-worker", london)
-	if m.D[o] != dBefore+1 {
+	if m.DOf(o) != dBefore+1 {
 		t.Fatalf("D must grow by one")
 	}
-	if m.Mu[o][london] <= before {
-		t.Fatalf("confidence must rise after a supporting answer: %v -> %v", before, m.Mu[o][london])
+	if m.MuOf(o)[london] <= before {
+		t.Fatalf("confidence must rise after a supporting answer: %v -> %v", before, m.MuOf(o)[london])
 	}
 	sum := 0.0
-	for _, p := range m.Mu[o] {
+	for _, p := range m.MuOf(o) {
 		sum += p
 	}
 	if math.Abs(sum-1) > 1e-9 {
-		t.Fatalf("mu not normalized after ApplyAnswer: %v", m.Mu[o])
+		t.Fatalf("mu not normalized after ApplyAnswer: %v", m.MuOf(o))
 	}
 }
 
@@ -142,7 +142,7 @@ func TestIncrementalApproximatesFullEM(t *testing.T) {
 	ds2 := ds.Clone()
 	ds2.Answers = append(ds2.Answers, data.Answer{Object: o, Worker: "w-new", Value: "London"})
 	m2 := Run(data.NewIndex(ds2), DefaultOptions())
-	full := m2.Mu[o]
+	full := m2.MuOf(o)
 
 	// Candidate order is identical (same value set). Compare coarsely: both
 	// must agree on the winner and be within 0.15 per entry.

@@ -10,23 +10,46 @@ import (
 // per-worker trustworthiness ψ, and per-object confidence distributions μ,
 // along with the sufficient statistics N_{o,v} and D_o needed by the
 // incremental EM of the task-assignment algorithm (Section 4.2).
+//
+// All parameters are dense, ID-indexed slices: object, source and worker
+// IDs are positions in Idx.Objects / Idx.SourceNames / Idx.WorkerNames.
+// Name-keyed accessors (MuOf, PhiOf, PsiOf, NOf, DOf) are provided for the
+// server and experiment layers.
 type Model struct {
 	Idx *data.Index
 	Opt Options
-	// Mu[o][i] is μ_{o,v} for candidate i of object o (same order as
-	// Idx.View(o).CI.Values).
-	Mu map[string][]float64
-	// Phi[s] = (φ_{s,1}, φ_{s,2}, φ_{s,3}).
-	Phi map[string][3]float64
-	// Psi[w] = (ψ_{w,1}, ψ_{w,2}, ψ_{w,3}).
-	Psi map[string][3]float64
-	// N[o][i] and D[o] are the numerator and denominator of the μ update
+	// Mu[oid][i] is μ_{o,v} for candidate i of object oid (same order as
+	// Idx.ViewAt(oid).CI.Values). The rows are contiguous sub-slices of one
+	// flat backing array.
+	Mu [][]float64
+	// Phi[sid] = (φ_{s,1}, φ_{s,2}, φ_{s,3}).
+	Phi [][3]float64
+	// Psi[wid] = (ψ_{w,1}, ψ_{w,2}, ψ_{w,3}).
+	Psi [][3]float64
+	// N[oid][i] and D[oid] are the numerator and denominator of the μ update
 	// (Eq. 9) at the final E-step; μ = N/D. They let the incremental EM
 	// fold one extra answer in O(|Vo|) (Eq. 17).
-	N map[string][]float64
-	D map[string]float64
+	N [][]float64
+	D []float64
 
 	Iterations int // EM iterations actually run
+
+	muFlat   []float64  // backing array of Mu
+	nFlat    []float64  // backing array of N
+	off      []int      // off[oid] is the flat offset of object oid's candidates
+	scr      *emScratch // reusable E-step buffers, built lazily, never cloned
+	scrMaxNV int        // largest candidate set, sizes the posterior buffers
+}
+
+// newJagged builds rows over one flat backing array using offsets off.
+func newJagged(off []int) (rows [][]float64, flat []float64) {
+	n := len(off) - 1
+	flat = make([]float64, off[n])
+	rows = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = flat[off[i]:off[i+1]:off[i+1]]
+	}
+	return rows, flat
 }
 
 // Clone returns a deep copy of the fitted parameters sharing the (immutable)
@@ -38,28 +61,40 @@ func (m *Model) Clone() *Model {
 		Idx:        m.Idx,
 		Opt:        m.Opt,
 		Iterations: m.Iterations,
-		Mu:         make(map[string][]float64, len(m.Mu)),
-		Phi:        make(map[string][3]float64, len(m.Phi)),
-		Psi:        make(map[string][3]float64, len(m.Psi)),
-		N:          make(map[string][]float64, len(m.N)),
-		D:          make(map[string]float64, len(m.D)),
+		Phi:        append([][3]float64(nil), m.Phi...),
+		Psi:        append([][3]float64(nil), m.Psi...),
+		D:          append([]float64(nil), m.D...),
+		off:        m.off,
 	}
-	for o, mu := range m.Mu {
-		c.Mu[o] = append([]float64(nil), mu...)
-	}
-	for o, n := range m.N {
-		c.N[o] = append([]float64(nil), n...)
-	}
-	for o, d := range m.D {
-		c.D[o] = d
-	}
-	for s, p := range m.Phi {
-		c.Phi[s] = p
-	}
-	for w, p := range m.Psi {
-		c.Psi[w] = p
-	}
+	c.Mu, c.muFlat = newJagged(m.off)
+	copy(c.muFlat, m.muFlat)
+	c.N, c.nFlat = newJagged(m.off)
+	copy(c.nFlat, m.nFlat)
 	return c
+}
+
+// MuOf returns μ_{o,·} by object name, or nil for unknown objects.
+func (m *Model) MuOf(o string) []float64 {
+	if oid, ok := m.Idx.ObjectID(o); ok {
+		return m.Mu[oid]
+	}
+	return nil
+}
+
+// NOf returns N_{o,·} by object name, or nil for unknown objects.
+func (m *Model) NOf(o string) []float64 {
+	if oid, ok := m.Idx.ObjectID(o); ok {
+		return m.N[oid]
+	}
+	return nil
+}
+
+// DOf returns D_o by object name, or 0 for unknown objects.
+func (m *Model) DOf(o string) float64 {
+	if oid, ok := m.Idx.ObjectID(o); ok {
+		return m.D[oid]
+	}
+	return 0
 }
 
 // DefaultPhi returns the prior-mean source trustworthiness, used to
@@ -77,16 +112,16 @@ func priorMean(a [3]float64) [3]float64 {
 
 // PsiOf returns ψw, falling back to the prior mean for unseen workers.
 func (m *Model) PsiOf(w string) [3]float64 {
-	if p, ok := m.Psi[w]; ok {
-		return p
+	if wid, ok := m.Idx.WorkerID(w); ok {
+		return m.Psi[wid]
 	}
 	return m.DefaultPsi()
 }
 
 // PhiOf returns φs, falling back to the prior mean for unseen sources.
 func (m *Model) PhiOf(s string) [3]float64 {
-	if p, ok := m.Phi[s]; ok {
-		return p
+	if sid, ok := m.Idx.SourceID(s); ok {
+		return m.Phi[sid]
 	}
 	return m.DefaultPhi()
 }
@@ -96,8 +131,8 @@ func (m *Model) PhiOf(s string) [3]float64 {
 // so results are deterministic.
 func (m *Model) Truths() map[string]string {
 	out := make(map[string]string, len(m.Mu))
-	for o, mu := range m.Mu {
-		ov := m.Idx.View(o)
+	for oid, mu := range m.Mu {
+		ov := m.Idx.ViewAt(oid)
 		best, bestP, bestDepth := "", -1.0, -1
 		for i, p := range mu {
 			v := ov.CI.Values[i]
@@ -109,19 +144,28 @@ func (m *Model) Truths() map[string]string {
 				best, bestP, bestDepth = v, p, d
 			}
 		}
-		out[o] = best
+		out[ov.Object] = best
 	}
 	return out
 }
 
 // Confidence returns μ_{o,·} aligned with Idx.View(o).CI.Values, or nil for
 // unknown objects.
-func (m *Model) Confidence(o string) []float64 { return m.Mu[o] }
+func (m *Model) Confidence(o string) []float64 { return m.MuOf(o) }
 
 // MaxConfidence returns max_v μ_{o,v} (used by the UEAI bound).
 func (m *Model) MaxConfidence(o string) float64 {
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return 0
+	}
+	return m.MaxConfidenceAt(oid)
+}
+
+// MaxConfidenceAt is MaxConfidence by dense object ID.
+func (m *Model) MaxConfidenceAt(oid int) float64 {
 	mx := 0.0
-	for _, p := range m.Mu[o] {
+	for _, p := range m.Mu[oid] {
 		if p > mx {
 			mx = p
 		}

@@ -10,25 +10,25 @@ import "math"
 func (m *Model) LogPosterior() float64 {
 	f := 0.0
 	// Likelihood: Σ_o Σ_s log Σ_v P(v_o^s | φ_s, v*=v)·μ_v  (+ workers).
-	for _, o := range m.Idx.Objects {
-		ov := m.Idx.View(o)
-		mu := m.Mu[o]
-		for s, c := range ov.SourceClaims {
-			phi := m.Phi[s]
+	for oid := range m.Idx.Views {
+		ov := m.Idx.ViewAt(oid)
+		mu := m.Mu[oid]
+		for _, cl := range ov.SourceClaims {
+			phi := m.Phi[cl.Part]
 			p := 0.0
 			for tr := range mu {
-				p += m.sourceClaimProb(ov, c, tr, phi) * mu[tr]
+				p += m.sourceClaimProb(ov, int(cl.Val), tr, phi) * mu[tr]
 			}
 			if p < eps {
 				p = eps
 			}
 			f += math.Log(p)
 		}
-		for w, c := range ov.WorkerClaims {
-			psi := m.Psi[w]
+		for _, cl := range ov.WorkerClaims {
+			psi := m.Psi[cl.Part]
 			p := 0.0
 			for tr := range mu {
-				p += m.workerClaimProb(ov, c, tr, psi) * mu[tr]
+				p += m.workerClaimProb(ov, int(cl.Val), tr, psi) * mu[tr]
 			}
 			if p < eps {
 				p = eps
@@ -72,8 +72,5 @@ func dirichletLogKernel(x, alpha []float64) float64 {
 // confidence delta — exposed for convergence tests and for streaming
 // applications that interleave EM steps with new data.
 func (m *Model) StepOnce() float64 {
-	if w := m.Opt.effectiveWorkers(); w > 1 {
-		return m.stepParallel(w)
-	}
-	return m.step()
+	return m.step(m.Opt.effectiveWorkers())
 }

@@ -121,11 +121,11 @@ func TestStepOnceMatchesRun(t *testing.T) {
 	}
 	auto := Run(idx2, opt)
 	// Compare φ (not μ: Run re-derives μ from refreshed stats).
-	for s, phi := range auto.Phi {
-		mphi := manual.Phi[s]
+	for sid, phi := range auto.Phi {
+		mphi := manual.Phi[sid]
 		for i := 0; i < 3; i++ {
 			if diff := phi[i] - mphi[i]; diff > 1e-12 || diff < -1e-12 {
-				t.Fatalf("phi(%s) differs: %v vs %v", s, phi, mphi)
+				t.Fatalf("phi(%s) differs: %v vs %v", idx1.SourceNames[sid], phi, mphi)
 			}
 		}
 	}

@@ -4,6 +4,11 @@
 // of claiming the exact truth, a generalized (ancestor) truth, or a wrong
 // value — estimated jointly with per-object confidence distributions by a
 // MAP-EM algorithm.
+//
+// The engine runs on the dense-ID index of internal/data: parameters are
+// ID-indexed slices, the claim model reads precomputed relationship and
+// popularity tables, and the E-step reuses scratch buffers so steady-state
+// iterations allocate nothing. See README.md ("Performance architecture").
 package core
 
 // Options are the hyperparameters of the TDH model. Zero-value fields are

@@ -1,107 +1,14 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
-// The E-step is embarrassingly parallel over objects: each object's records
-// and answers touch only its own μ accumulator, and the per-source /
-// per-worker class posteriors merge additively. stepParallel shards the
-// object list over Options.Workers goroutines and merges the shard
-// accumulators; it is bit-for-bit deterministic because float additions are
-// merged in shard order.
-
-type shardAcc struct {
-	muNum  map[string][]float64
-	phiNum map[string][3]float64
-	psiNum map[string][3]float64
-}
-
-// stepParallel runs one full E+M iteration with a parallel E-step and
-// returns the max confidence delta. Used when Options.Workers > 1.
-func (m *Model) stepParallel(workers int) float64 {
-	if workers > len(m.Idx.Objects) {
-		workers = len(m.Idx.Objects)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	shards := make([]shardAcc, workers)
-	var wg sync.WaitGroup
-	for s := 0; s < workers; s++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			acc := shardAcc{
-				muNum:  map[string][]float64{},
-				phiNum: map[string][3]float64{},
-				psiNum: map[string][3]float64{},
-			}
-			f := make([]float64, 0, 16)
-			for i := shard; i < len(m.Idx.Objects); i += workers {
-				o := m.Idx.Objects[i]
-				ov := m.Idx.View(o)
-				mu := m.Mu[o]
-				muAcc := make([]float64, len(mu))
-				for s2, c := range ov.SourceClaims {
-					phi := m.Phi[s2]
-					f = posteriorSource(m, ov, mu, c, phi, f[:0])
-					for j, fj := range f {
-						muAcc[j] += fj
-					}
-					g := m.classPosteriorSource(ov, mu, c, phi, f)
-					pn := acc.phiNum[s2]
-					pn[0] += g[0]
-					pn[1] += g[1]
-					pn[2] += g[2]
-					acc.phiNum[s2] = pn
-				}
-				for w, c := range ov.WorkerClaims {
-					psi := m.Psi[w]
-					f = posteriorWorker(m, ov, mu, c, psi, f[:0])
-					for j, fj := range f {
-						muAcc[j] += fj
-					}
-					g := m.classPosteriorWorker(ov, mu, c, psi, f)
-					pn := acc.psiNum[w]
-					pn[0] += g[0]
-					pn[1] += g[1]
-					pn[2] += g[2]
-					acc.psiNum[w] = pn
-				}
-				acc.muNum[o] = muAcc
-			}
-			shards[shard] = acc
-		}(s)
-	}
-	wg.Wait()
-
-	// Merge in shard order for determinism.
-	muNum := make(map[string][]float64, len(m.Mu))
-	phiNum := make(map[string][3]float64, len(m.Phi))
-	psiNum := make(map[string][3]float64, len(m.Psi))
-	for _, acc := range shards {
-		for o, v := range acc.muNum {
-			muNum[o] = v // objects are shard-exclusive
-		}
-		for s, g := range acc.phiNum {
-			pn := phiNum[s]
-			pn[0] += g[0]
-			pn[1] += g[1]
-			pn[2] += g[2]
-			phiNum[s] = pn
-		}
-		for w, g := range acc.psiNum {
-			pn := psiNum[w]
-			pn[0] += g[0]
-			pn[1] += g[1]
-			pn[2] += g[2]
-			psiNum[w] = pn
-		}
-	}
-	return m.mStep(muNum, phiNum, psiNum)
-}
+// The E-step parallelism lives in em.go: pass A range-partitions objects
+// (each goroutine owns a contiguous ID range, so μ numerators and per-claim
+// slots are goroutine-exclusive) and the M-step range-partitions objects
+// and participants. No accumulation order ever depends on the goroutine
+// schedule — the per-claim class posteriors are reduced through the index's
+// CSR transpose in index order — so any worker count produces bit-for-bit
+// identical results, including Workers=1 vs Workers=N.
 
 // effectiveWorkers resolves the worker count: 0/1 = sequential,
 // -1 = GOMAXPROCS.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/data"
@@ -9,47 +8,41 @@ import (
 )
 
 // TestParallelMatchesSequential: the parallel E-step must be bit-for-bit
-// equivalent to the sequential one (objects are shard-exclusive and merges
-// happen in shard order).
+// identical to the sequential one for ANY worker count — object ranges are
+// goroutine-exclusive and the per-claim class posteriors are reduced in
+// index order, never in schedule order.
 func TestParallelMatchesSequential(t *testing.T) {
 	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 3, Scale: 0.05})
 	ds.Answers = append(ds.Answers,
 		data.Answer{Object: ds.Objects()[0], Worker: "w1", Value: ds.Records[0].Value},
 	)
-	idxSeq := data.NewIndex(ds)
-	idxPar := data.NewIndex(ds)
+	mSeq := Run(data.NewIndex(ds), DefaultOptions())
+	for _, workers := range []int{2, 4, 7} {
+		parOpt := DefaultOptions()
+		parOpt.Workers = workers
+		idxPar := data.NewIndex(ds)
+		mPar := Run(idxPar, parOpt)
 
-	seqOpt := DefaultOptions()
-	parOpt := DefaultOptions()
-	parOpt.Workers = 4
-
-	mSeq := Run(idxSeq, seqOpt)
-	mPar := Run(idxPar, parOpt)
-
-	if mSeq.Iterations != mPar.Iterations {
-		t.Fatalf("iteration counts differ: %d vs %d", mSeq.Iterations, mPar.Iterations)
-	}
-	for o, mu := range mSeq.Mu {
-		pmu := mPar.Mu[o]
-		for i := range mu {
-			if math.Abs(mu[i]-pmu[i]) > 1e-12 {
-				t.Fatalf("mu differs on %s[%d]: %v vs %v", o, i, mu[i], pmu[i])
+		if mSeq.Iterations != mPar.Iterations {
+			t.Fatalf("workers=%d: iteration counts differ: %d vs %d", workers, mSeq.Iterations, mPar.Iterations)
+		}
+		for oid, mu := range mSeq.Mu {
+			pmu := mPar.Mu[oid]
+			for i := range mu {
+				if mu[i] != pmu[i] {
+					t.Fatalf("workers=%d: mu differs on %s[%d]: %v vs %v",
+						workers, idxPar.Objects[oid], i, mu[i], pmu[i])
+				}
 			}
 		}
-	}
-	for s, phi := range mSeq.Phi {
-		pphi := mPar.Phi[s]
-		for i := 0; i < 3; i++ {
-			if math.Abs(phi[i]-pphi[i]) > 1e-12 {
-				t.Fatalf("phi differs on %s", s)
+		for sid, phi := range mSeq.Phi {
+			if phi != mPar.Phi[sid] {
+				t.Fatalf("workers=%d: phi differs on %s", workers, idxPar.SourceNames[sid])
 			}
 		}
-	}
-	for w, psi := range mSeq.Psi {
-		ppsi := mPar.Psi[w]
-		for i := 0; i < 3; i++ {
-			if math.Abs(psi[i]-ppsi[i]) > 1e-12 {
-				t.Fatalf("psi differs on %s", w)
+		for wid, psi := range mSeq.Psi {
+			if psi != mPar.Psi[wid] {
+				t.Fatalf("workers=%d: psi differs on %s", workers, idxPar.WorkerNames[wid])
 			}
 		}
 	}

@@ -2,20 +2,13 @@ package core
 
 import "repro/internal/data"
 
-// relationship classifies the claim index c against the hypothesized truth
-// index tr within an object's candidate set: 1 = exact, 2 = generalized
-// (c is a candidate ancestor of tr), 3 = wrong.
-func relationship(ov *data.ObjectView, c, tr int) int {
-	if c == tr {
-		return 1
-	}
-	for _, a := range ov.CI.Anc[tr] {
-		if a == c {
-			return 2
-		}
-	}
-	return 3
-}
+// The claim model (Eqs. 1–4) evaluated over the precomputed tables of
+// data.ObjectView: relationship classes, case-possibility masks, 1/|Go|,
+// 1/|rest| and the popularity distributions are all index-time constants,
+// so the per-(claim, truth) probability is a handful of lookups and
+// multiplies. Row variants fill P(claim | truth=·) for every truth at once
+// — the E-step inner loop — and scalar variants serve the incremental EM
+// and external callers.
 
 // flatObject reports whether the whole object is handled by Eq. (2): no
 // ancestor-descendant pair among its candidates (o ∉ OH), or the flat-model
@@ -49,6 +42,154 @@ func caseScale(theta [3]float64, genPossible, wrongPossible bool) float64 {
 	return 1 / s
 }
 
+// caseScaleTab precomputes caseScale for the four possibility masks, so the
+// per-truth scale inside a row fill is a table lookup.
+func caseScaleTab(theta [3]float64) [4]float64 {
+	return [4]float64{
+		caseScale(theta, false, false),
+		caseScale(theta, true, false),
+		caseScale(theta, false, true),
+		caseScale(theta, true, true),
+	}
+}
+
+// sourceClaimRow fills dst[tr] = P(v_o^s = c | v*_o = tr, φs) for every
+// truth tr (Eqs. 1 and 2).
+func (m *Model) sourceClaimRow(ov *data.ObjectView, c int, phi [3]float64, flat bool, dst []float64) {
+	nV := len(dst)
+	if flat {
+		if nV <= 1 {
+			dst[0] = 1
+			return
+		}
+		wrong := maxf(phi[2]/float64(nV-1), eps)
+		for tr := range dst {
+			dst[tr] = wrong
+		}
+		dst[c] = phi[0] + phi[1]
+		return
+	}
+	scaleTab := caseScaleTab(phi)
+	masks := ov.CaseMasks()
+	invGo := ov.InvGoSizes()
+	invRest := ov.InvRestSizes()
+	if rel := ov.RelRow(c); rel != nil {
+		for tr := range dst {
+			sc := scaleTab[masks[tr]]
+			var p float64
+			switch rel[tr] {
+			case 1:
+				p = sc * phi[0]
+			case 2:
+				p = sc * phi[1] * invGo[tr]
+			default:
+				p = sc * phi[2] * invRest[tr]
+			}
+			if p < eps {
+				p = eps
+			}
+			dst[tr] = p
+		}
+		return
+	}
+	for tr := range dst {
+		sc := scaleTab[masks[tr]]
+		var p float64
+		switch ov.Rel(c, tr) {
+		case 1:
+			p = sc * phi[0]
+		case 2:
+			p = sc * phi[1] * invGo[tr]
+		default:
+			p = sc * phi[2] * invRest[tr]
+		}
+		if p < eps {
+			p = eps
+		}
+		dst[tr] = p
+	}
+}
+
+// workerClaimRow fills dst[tr] = P(v_o^w = c | v*_o = tr, ψw) for every
+// truth tr (Eqs. 3 and 4), mixing the popularity distributions Pop2/Pop3
+// computed from the source records unless the ablation flag disables them.
+func (m *Model) workerClaimRow(ov *data.ObjectView, c int, psi [3]float64, flat bool, dst []float64) {
+	nV := len(dst)
+	uniform := m.Opt.UniformWorkerErrors
+	pop2 := ov.Pop2Row(c)
+	pop3 := ov.Pop3Row(c)
+	if flat {
+		if nV <= 1 {
+			dst[0] = 1
+			return
+		}
+		switch {
+		case uniform:
+			wrong := maxf(psi[2]/float64(nV-1), eps)
+			for tr := range dst {
+				dst[tr] = wrong
+			}
+		case pop3 != nil:
+			for tr := range dst {
+				dst[tr] = maxf(psi[2]*pop3[tr], eps)
+			}
+		default: // above the table cap: per-truth Pop3 fallback
+			for tr := range dst {
+				dst[tr] = maxf(psi[2]*ov.Pop3(c, tr), eps)
+			}
+		}
+		dst[c] = psi[0] + psi[1]
+		return
+	}
+	scaleTab := caseScaleTab(psi)
+	masks := ov.CaseMasks()
+	invGo := ov.InvGoSizes()
+	invRest := ov.InvRestSizes()
+	rel := ov.RelRow(c)
+	for tr := range dst {
+		sc := scaleTab[masks[tr]]
+		var r uint8
+		if rel != nil {
+			r = rel[tr]
+		} else {
+			r = ov.Rel(c, tr)
+		}
+		var p float64
+		switch r {
+		case 1:
+			p = sc * psi[0]
+		case 2:
+			p2 := invGo[tr]
+			if !uniform {
+				if pop2 != nil {
+					p2 = pop2[tr]
+				} else {
+					p2 = ov.Pop2(c, tr)
+				}
+			}
+			p = sc * psi[1] * p2
+		default:
+			if masks[tr]&2 == 0 {
+				p = 0 // no wrong value possible; floored to eps below
+			} else {
+				p3 := invRest[tr]
+				if !uniform {
+					if pop3 != nil {
+						p3 = pop3[tr]
+					} else {
+						p3 = ov.Pop3(c, tr)
+					}
+				}
+				p = sc * psi[2] * p3
+			}
+		}
+		if p < eps {
+			p = eps
+		}
+		dst[tr] = p
+	}
+}
+
 // sourceClaimProb implements Eqs. (1) and (2): P(v_o^s = c | v*_o = tr, φs).
 func (m *Model) sourceClaimProb(ov *data.ObjectView, c, tr int, phi [3]float64) float64 {
 	nV := ov.CI.NumValues()
@@ -61,25 +202,22 @@ func (m *Model) sourceClaimProb(ov *data.ObjectView, c, tr int, phi [3]float64) 
 		}
 		return maxf(phi[2]/float64(nV-1), eps)
 	}
-	goSize := ov.CI.GoSize(tr)
-	rest := nV - goSize - 1
-	scale := caseScale(phi, goSize > 0, rest > 0)
-	switch relationship(ov, c, tr) {
+	mask := ov.CaseMask(tr)
+	scale := caseScale(phi, mask&1 != 0, mask&2 != 0)
+	switch ov.Rel(c, tr) {
 	case 1:
 		return maxf(scale*phi[0], eps)
 	case 2:
-		return maxf(scale*phi[1]/float64(goSize), eps)
+		return maxf(scale*phi[1]*ov.InvGoSize(tr), eps)
 	default:
-		if rest <= 0 {
+		if mask&2 == 0 {
 			return eps
 		}
-		return maxf(scale*phi[2]/float64(rest), eps)
+		return maxf(scale*phi[2]*ov.InvRestSize(tr), eps)
 	}
 }
 
-// workerClaimProb implements Eqs. (3) and (4): P(v_o^w = c | v*_o = tr, ψw),
-// mixing the popularity distributions Pop2/Pop3 computed from the source
-// records unless the ablation flag disables them.
+// workerClaimProb implements Eqs. (3) and (4): P(v_o^w = c | v*_o = tr, ψw).
 func (m *Model) workerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) float64 {
 	nV := ov.CI.NumValues()
 	if flatObject(m, ov) {
@@ -95,23 +233,22 @@ func (m *Model) workerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) 
 		}
 		return maxf(psi[2]*p3, eps)
 	}
-	goSize := ov.CI.GoSize(tr)
-	rest := nV - goSize - 1
-	scale := caseScale(psi, goSize > 0, rest > 0)
-	switch relationship(ov, c, tr) {
+	mask := ov.CaseMask(tr)
+	scale := caseScale(psi, mask&1 != 0, mask&2 != 0)
+	switch ov.Rel(c, tr) {
 	case 1:
 		return maxf(scale*psi[0], eps)
 	case 2:
-		p2 := 1.0 / float64(goSize)
+		p2 := ov.InvGoSize(tr)
 		if !m.Opt.UniformWorkerErrors {
 			p2 = ov.Pop2(c, tr)
 		}
 		return maxf(scale*psi[1]*p2, eps)
 	default:
-		if rest <= 0 {
+		if mask&2 == 0 {
 			return eps
 		}
-		p3 := 1.0 / float64(rest)
+		p3 := ov.InvRestSize(tr)
 		if !m.Opt.UniformWorkerErrors {
 			p3 = ov.Pop3(c, tr)
 		}
@@ -129,8 +266,17 @@ func (m *Model) WorkerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) 
 // (Eq. 6) for candidate index c of object o — the distribution a worker's
 // next answer is expected to follow, used by EAI (Eq. 15) and QASCA.
 func (m *Model) AnswerLikelihood(o string, psi [3]float64, c int) float64 {
-	ov := m.Idx.View(o)
-	mu := m.Mu[o]
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return 0
+	}
+	return m.AnswerLikelihoodAt(oid, psi, c)
+}
+
+// AnswerLikelihoodAt is AnswerLikelihood by dense object ID.
+func (m *Model) AnswerLikelihoodAt(oid int, psi [3]float64, c int) float64 {
+	ov := m.Idx.ViewAt(oid)
+	mu := m.Mu[oid]
 	p := 0.0
 	for tr := range mu {
 		p += m.workerClaimProb(ov, c, tr, psi) * mu[tr]

@@ -11,10 +11,11 @@ import (
 // Fitted-model serialization: a TDH fit over a large crawl takes seconds to
 // minutes, while serving truths, trust scores and task assignments from it
 // is instant. Save/Load let a fit be reused across processes. The snapshot
-// stores parameters keyed by object/source/worker name; Load verifies the
-// snapshot matches the index it is attached to (same objects and candidate
-// set sizes), because the sufficient statistics are only meaningful against
-// the records they were fitted on.
+// stores parameters keyed by object/source/worker NAME — the wire format is
+// independent of the dense ID assignment — and Load re-interns them against
+// the index it is attached to, verifying the snapshot matches (same objects
+// and candidate-set sizes), because the sufficient statistics are only
+// meaningful against the records they were fitted on.
 
 // snapshot is the wire form of a fitted model.
 type snapshot struct {
@@ -32,17 +33,22 @@ func (m *Model) Save(w io.Writer) error {
 	sn := snapshot{
 		Options:    m.Opt,
 		Iterations: m.Iterations,
-		Mu:         m.Mu,
-		N:          m.N,
-		D:          m.D,
-		Phi:        map[string][]float64{},
-		Psi:        map[string][]float64{},
+		Mu:         make(map[string][]float64, len(m.Mu)),
+		N:          make(map[string][]float64, len(m.N)),
+		D:          make(map[string]float64, len(m.D)),
+		Phi:        make(map[string][]float64, len(m.Phi)),
+		Psi:        make(map[string][]float64, len(m.Psi)),
 	}
-	for s, phi := range m.Phi {
-		sn.Phi[s] = phi[:]
+	for oid, o := range m.Idx.Objects {
+		sn.Mu[o] = m.Mu[oid]
+		sn.N[o] = m.N[oid]
+		sn.D[o] = m.D[oid]
 	}
-	for w2, psi := range m.Psi {
-		sn.Psi[w2] = psi[:]
+	for sid, s := range m.Idx.SourceNames {
+		sn.Phi[s] = m.Phi[sid][:]
+	}
+	for wid, w2 := range m.Idx.WorkerNames {
+		sn.Psi[w2] = m.Psi[wid][:]
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -51,47 +57,48 @@ func (m *Model) Save(w io.Writer) error {
 
 // Load reads a model snapshot and attaches it to idx. It fails if the
 // snapshot's objects or candidate-set sizes do not match the index.
+// Parameters for objects/sources/workers unknown to idx are dropped.
 func Load(r io.Reader, idx *data.Index) (*Model, error) {
 	var sn snapshot
 	if err := json.NewDecoder(r).Decode(&sn); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	m := &Model{
-		Idx:        idx,
-		Opt:        sn.Options,
-		Iterations: sn.Iterations,
-		Mu:         sn.Mu,
-		N:          sn.N,
-		D:          sn.D,
-		Phi:        map[string][3]float64{},
-		Psi:        map[string][3]float64{},
-	}
-	if m.Mu == nil || m.N == nil || m.D == nil {
+	if sn.Mu == nil || sn.N == nil || sn.D == nil {
 		return nil, fmt.Errorf("core: snapshot missing parameter blocks")
+	}
+	m := newModelShell(idx, sn.Options)
+	m.Opt = sn.Options // the shell fills defaults; keep the stored options verbatim
+	m.Iterations = sn.Iterations
+	for oid, o := range idx.Objects {
+		mu, ok := sn.Mu[o]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot missing object %q", o)
+		}
+		if want := idx.ViewAt(oid).CI.NumValues(); len(mu) != want {
+			return nil, fmt.Errorf("core: object %q has %d candidates in the snapshot, %d in the index", o, len(mu), want)
+		}
+		n := sn.N[o]
+		if len(n) != len(mu) {
+			return nil, fmt.Errorf("core: object %q has inconsistent sufficient statistics", o)
+		}
+		copy(m.Mu[oid], mu)
+		copy(m.N[oid], n)
+		m.D[oid] = sn.D[o]
 	}
 	for s, v := range sn.Phi {
 		if len(v) != 3 {
 			return nil, fmt.Errorf("core: phi(%s) has %d entries", s, len(v))
 		}
-		m.Phi[s] = [3]float64{v[0], v[1], v[2]}
+		if sid, ok := idx.SourceID(s); ok {
+			m.Phi[sid] = [3]float64{v[0], v[1], v[2]}
+		}
 	}
 	for w, v := range sn.Psi {
 		if len(v) != 3 {
 			return nil, fmt.Errorf("core: psi(%s) has %d entries", w, len(v))
 		}
-		m.Psi[w] = [3]float64{v[0], v[1], v[2]}
-	}
-	// Consistency against the index.
-	for _, o := range idx.Objects {
-		mu, ok := m.Mu[o]
-		if !ok {
-			return nil, fmt.Errorf("core: snapshot missing object %q", o)
-		}
-		if want := idx.View(o).CI.NumValues(); len(mu) != want {
-			return nil, fmt.Errorf("core: object %q has %d candidates in the snapshot, %d in the index", o, len(mu), want)
-		}
-		if n := m.N[o]; len(n) != len(mu) {
-			return nil, fmt.Errorf("core: object %q has inconsistent sufficient statistics", o)
+		if wid, ok := idx.WorkerID(w); ok {
+			m.Psi[wid] = [3]float64{v[0], v[1], v[2]}
 		}
 	}
 	return m, nil

@@ -22,16 +22,16 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for o, mu := range m.Mu {
+	for oid, mu := range m.Mu {
 		for i := range mu {
-			if math.Abs(mu[i]-got.Mu[o][i]) > 1e-15 {
-				t.Fatalf("mu mismatch on %s", o)
+			if math.Abs(mu[i]-got.Mu[oid][i]) > 1e-15 {
+				t.Fatalf("mu mismatch on %s", idx.Objects[oid])
 			}
 		}
 	}
-	for s, phi := range m.Phi {
-		if got.Phi[s] != phi {
-			t.Fatalf("phi mismatch on %s", s)
+	for sid, phi := range m.Phi {
+		if got.Phi[sid] != phi {
+			t.Fatalf("phi mismatch on %s", idx.SourceNames[sid])
 		}
 	}
 	if got.Iterations != m.Iterations {

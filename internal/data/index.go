@@ -6,26 +6,175 @@ import (
 	"repro/internal/hierarchy"
 )
 
+// maxDenseTableValues caps the candidate-set size for which the O(|Vo|²)
+// relationship/popularity tables are materialized — 17 bytes per (claim,
+// truth) entry, so the cap bounds the per-object table cost at ~1.1 MB.
+// Larger candidate sets (possible with free-text or numeric workloads)
+// fall back to the ancestor bitsets, which stay O(|Vo|²/64) bits and still
+// avoid per-call allocation.
+const maxDenseTableValues = 256
+
+// Claim is one deduplicated (participant, value) claim on an object, in the
+// dense-ID encoding: Part is the source or worker ID (its position in
+// Index.SourceNames / Index.WorkerNames) and Val the candidate index of the
+// claimed value in CI.Values.
+type Claim struct {
+	Part int32
+	Val  int32
+}
+
 // ObjectView is the per-object slice of the index: candidate values Vo with
-// their hierarchy relations, plus the claims grouped by participant.
+// their hierarchy relations, the claims grouped by participant, and the
+// static tables the EM hot path reads (relationship classes, case masks,
+// popularity distributions). Everything here is immutable after NewIndex.
 type ObjectView struct {
 	Object string
+	// ID is the dense object ID: the position of Object in Index.Objects.
+	ID int
 	// CI indexes Vo: ancestor/descendant sets and the o ∈ OH flag.
 	CI *hierarchy.CandidateIndex
-	// SourceClaims maps source -> candidate index of its claimed value.
-	SourceClaims map[string]int
-	// WorkerClaims maps worker -> candidate index of its claimed value.
-	WorkerClaims map[string]int
+	// SourceClaims lists source claims sorted by source ID.
+	SourceClaims []Claim
+	// WorkerClaims lists worker answers sorted by worker ID.
+	WorkerClaims []Claim
 	// ValueCount[i] is the number of SOURCES claiming candidate i; the
 	// popularity terms Pop2/Pop3 of the worker model are ratios of these.
 	ValueCount []int
+
+	idx *Index // back-pointer for name resolution
+
+	// Precomputed parameter-independent tables (see precompute).
+	rel      []uint8   // rel[c*|Vo|+tr] ∈ {1,2,3}; nil above maxDenseTableValues
+	pop2     []float64 // pop2[c*|Vo|+tr] = Pop2(c|tr); nil above the cap
+	pop3     []float64 // pop3[c*|Vo|+tr] = Pop3(c|tr); nil above the cap
+	caseMask []uint8   // per truth: bit0 = generalization possible, bit1 = wrong possible
+	invGo    []float64 // per truth: 1/|Go(tr)|, 0 when |Go(tr)| = 0
+	invRest  []float64 // per truth: 1/(|Vo|-|Go(tr)|-1), 0 when empty
+	ancBits  []uint64  // ancestor bitsets: bit c of row tr set iff c ∈ Go(tr)
+	ancWords int       // words per ancBits row
+}
+
+// Index returns the owning index (for resolving participant IDs to names).
+func (ov *ObjectView) Index() *Index { return ov.idx }
+
+// SourceName resolves a source claim's participant ID to its name.
+func (ov *ObjectView) SourceName(id int32) string { return ov.idx.SourceNames[id] }
+
+// WorkerName resolves a worker claim's participant ID to its name.
+func (ov *ObjectView) WorkerName(id int32) string { return ov.idx.WorkerNames[id] }
+
+// SourceClaim returns the candidate index claimed by source s, if any.
+func (ov *ObjectView) SourceClaim(s string) (int, bool) {
+	id, ok := ov.idx.SourceID(s)
+	if !ok {
+		return 0, false
+	}
+	return findClaim(ov.SourceClaims, int32(id))
+}
+
+// WorkerClaim returns the candidate index answered by worker w, if any.
+func (ov *ObjectView) WorkerClaim(w string) (int, bool) {
+	id, ok := ov.idx.WorkerID(w)
+	if !ok {
+		return 0, false
+	}
+	return findClaim(ov.WorkerClaims, int32(id))
+}
+
+// findClaim binary-searches a Part-sorted claim slice.
+func findClaim(claims []Claim, part int32) (int, bool) {
+	lo, hi := 0, len(claims)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if claims[mid].Part < part {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(claims) && claims[lo].Part == part {
+		return int(claims[lo].Val), true
+	}
+	return 0, false
+}
+
+// IsCandAncestor reports whether candidate c is a proper ancestor of
+// candidate tr within the candidate set (c ∈ Go(tr)), in O(1).
+func (ov *ObjectView) IsCandAncestor(c, tr int) bool {
+	return ov.ancBits[tr*ov.ancWords+c/64]&(1<<(c%64)) != 0
+}
+
+// Rel classifies candidate c against the hypothesized truth tr:
+// 1 = exact, 2 = generalized (c ∈ Go(tr)), 3 = wrong. Constant time.
+func (ov *ObjectView) Rel(c, tr int) uint8 {
+	if c == tr {
+		return 1
+	}
+	if ov.rel != nil {
+		return ov.rel[c*ov.CI.NumValues()+tr]
+	}
+	if ov.IsCandAncestor(c, tr) {
+		return 2
+	}
+	return 3
+}
+
+// RelRow returns the relationship row for claim c (indexed by truth), or nil
+// when the object is above the dense-table cap.
+func (ov *ObjectView) RelRow(c int) []uint8 {
+	if ov.rel == nil {
+		return nil
+	}
+	nV := ov.CI.NumValues()
+	return ov.rel[c*nV : (c+1)*nV]
+}
+
+// CaseMask returns the possibility mask of truth tr: bit0 set when
+// generalized claims are possible (|Go(tr)| > 0), bit1 set when wrong claims
+// are possible (|Vo| - |Go(tr)| - 1 > 0).
+func (ov *ObjectView) CaseMask(tr int) uint8 { return ov.caseMask[tr] }
+
+// InvGoSize returns 1/|Go(tr)|, or 0 when tr has no candidate ancestors.
+func (ov *ObjectView) InvGoSize(tr int) float64 { return ov.invGo[tr] }
+
+// InvRestSize returns 1/(|Vo|-|Go(tr)|-1), or 0 when no wrong value exists.
+func (ov *ObjectView) InvRestSize(tr int) float64 { return ov.invRest[tr] }
+
+// CaseMasks returns the per-truth possibility masks (see CaseMask).
+func (ov *ObjectView) CaseMasks() []uint8 { return ov.caseMask }
+
+// InvGoSizes returns the per-truth 1/|Go(tr)| table.
+func (ov *ObjectView) InvGoSizes() []float64 { return ov.invGo }
+
+// InvRestSizes returns the per-truth 1/(|Vo|-|Go(tr)|-1) table.
+func (ov *ObjectView) InvRestSizes() []float64 { return ov.invRest }
+
+// Pop2Row returns Pop2(c|·) indexed by truth, or nil above the table cap.
+func (ov *ObjectView) Pop2Row(c int) []float64 {
+	if ov.pop2 == nil {
+		return nil
+	}
+	nV := ov.CI.NumValues()
+	return ov.pop2[c*nV : (c+1)*nV]
+}
+
+// Pop3Row returns Pop3(c|·) indexed by truth, or nil above the table cap.
+func (ov *ObjectView) Pop3Row(c int) []float64 {
+	if ov.pop3 == nil {
+		return nil
+	}
+	nV := ov.CI.NumValues()
+	return ov.pop3[c*nV : (c+1)*nV]
 }
 
 // Pop2 returns Pop2(v|v*) — among source records whose value is a candidate
 // ancestor of truth index tr, the fraction claiming candidate v (both are
 // candidate indices). Falls back to uniform over Go(truth) when no source
-// generalized the truth.
+// generalized the truth. A table lookup below maxDenseTableValues.
 func (ov *ObjectView) Pop2(v, tr int) float64 {
+	if ov.pop2 != nil {
+		return ov.pop2[v*ov.CI.NumValues()+tr]
+	}
 	den := 0
 	for _, a := range ov.CI.Anc[tr] {
 		den += ov.ValueCount[a]
@@ -41,16 +190,17 @@ func (ov *ObjectView) Pop2(v, tr int) float64 {
 
 // Pop3 returns Pop3(v|v*) — among source records whose value is neither the
 // truth tr nor one of its candidate ancestors, the fraction claiming v.
-// Falls back to uniform over the wrong-value set when empty.
+// Falls back to uniform over the wrong-value set when empty. A table lookup
+// below maxDenseTableValues; the fallback uses the ancestor bitsets instead
+// of allocating a membership map.
 func (ov *ObjectView) Pop3(v, tr int) float64 {
+	if ov.pop3 != nil {
+		return ov.pop3[v*ov.CI.NumValues()+tr]
+	}
 	den := 0
 	wrong := 0
-	isAncOfTr := make(map[int]bool, len(ov.CI.Anc[tr]))
-	for _, a := range ov.CI.Anc[tr] {
-		isAncOfTr[a] = true
-	}
 	for i, c := range ov.ValueCount {
-		if i == tr || isAncOfTr[i] {
+		if i == tr || ov.IsCandAncestor(i, tr) {
 			continue
 		}
 		wrong++
@@ -65,17 +215,113 @@ func (ov *ObjectView) Pop3(v, tr int) float64 {
 	return float64(ov.ValueCount[v]) / float64(den)
 }
 
+// precompute builds the parameter-independent tables after claims have been
+// ingested. Everything the EM inner loop needs per (claim, truth) becomes a
+// lookup: relationship class, case-possibility mask, 1/|Go|, 1/|rest|, and
+// the popularity distributions.
+func (ov *ObjectView) precompute() {
+	nV := ov.CI.NumValues()
+	ov.ancWords = (nV + 63) / 64
+	ov.ancBits = make([]uint64, nV*ov.ancWords)
+	ov.caseMask = make([]uint8, nV)
+	ov.invGo = make([]float64, nV)
+	ov.invRest = make([]float64, nV)
+	total := 0
+	for _, c := range ov.ValueCount {
+		total += c
+	}
+	for tr := 0; tr < nV; tr++ {
+		row := ov.ancBits[tr*ov.ancWords:]
+		for _, a := range ov.CI.Anc[tr] {
+			row[a/64] |= 1 << (a % 64)
+		}
+		g := ov.CI.GoSize(tr)
+		rest := nV - g - 1
+		if g > 0 {
+			ov.caseMask[tr] |= 1
+			ov.invGo[tr] = 1 / float64(g)
+		}
+		if rest > 0 {
+			ov.caseMask[tr] |= 2
+			ov.invRest[tr] = 1 / float64(rest)
+		}
+	}
+	if nV > maxDenseTableValues {
+		return
+	}
+	ov.rel = make([]uint8, nV*nV)
+	ov.pop2 = make([]float64, nV*nV)
+	ov.pop3 = make([]float64, nV*nV)
+	for tr := 0; tr < nV; tr++ {
+		// Denominators shared by every claim column at this truth.
+		ancCount := 0
+		for _, a := range ov.CI.Anc[tr] {
+			ancCount += ov.ValueCount[a]
+		}
+		goSize := ov.CI.GoSize(tr)
+		wrong := nV - 1 - goSize
+		restCount := total - ancCount - ov.ValueCount[tr]
+		for c := 0; c < nV; c++ {
+			k := c*nV + tr
+			switch {
+			case c == tr:
+				ov.rel[k] = 1
+			case ov.IsCandAncestor(c, tr):
+				ov.rel[k] = 2
+			default:
+				ov.rel[k] = 3
+			}
+			if ancCount > 0 {
+				ov.pop2[k] = float64(ov.ValueCount[c]) / float64(ancCount)
+			} else if goSize > 0 {
+				ov.pop2[k] = 1 / float64(goSize)
+			}
+			if restCount > 0 {
+				ov.pop3[k] = float64(ov.ValueCount[c]) / float64(restCount)
+			} else if wrong > 0 {
+				ov.pop3[k] = 1 / float64(wrong)
+			}
+		}
+	}
+}
+
 // Index is the precomputed view of a Dataset that all inference algorithms
-// consume: per-object candidate sets and per-participant claim lists.
+// consume. Objects, sources and workers are interned into dense IDs (their
+// positions in the sorted name slices); per-object views live in a flat
+// slice addressed by object ID, and per-participant claim lists are sorted
+// ID slices. Name-keyed accessors are kept for the server and experiment
+// layers.
 type Index struct {
-	DS      *Dataset
-	Objects []string               // sorted
-	Views   map[string]*ObjectView // object -> view
-	// Os / Ow: objects claimed per source / per worker, sorted.
-	SourceObjects map[string][]string
-	WorkerObjects map[string][]string
-	SourceNames   []string
-	WorkerNames   []string
+	DS *Dataset
+	// Objects is sorted; the position of a name is its object ID.
+	Objects []string
+	// SourceNames / WorkerNames are sorted; positions are participant IDs.
+	SourceNames []string
+	WorkerNames []string
+	// Views[id] is the per-object view of Objects[id].
+	Views []ObjectView
+	// SourceObjIDs[sid] / WorkerObjIDs[wid] are the sorted object IDs
+	// claimed by that participant (Os / Ow).
+	SourceObjIDs [][]int32
+	WorkerObjIDs [][]int32
+	// SrcClaimStart[oid] is the global index of object oid's first source
+	// claim in object-major claim order (SrcClaimStart[|O|] = total source
+	// claims); WkrClaimStart is the same for worker claims. They give every
+	// claim a stable dense ID, so the parallel E-step can write per-claim
+	// results without synchronization.
+	SrcClaimStart []int32
+	WkrClaimStart []int32
+	// SourceClaimRefs[sid] lists the global claim IDs of source sid in
+	// ascending object order (the CSR transpose of the per-object claim
+	// lists); WorkerClaimRefs is the same for workers. The E-step reduces
+	// per-claim class posteriors over these, giving a summation order that
+	// is independent of the worker count.
+	SourceClaimRefs [][]int32
+	WorkerClaimRefs [][]int32
+
+	objectID map[string]int
+	sourceID map[string]int
+	workerID map[string]int
 }
 
 // NewIndex builds the index. Worker answers contribute to candidate sets
@@ -83,12 +329,8 @@ type Index struct {
 // out-of-Vo answers by extending the candidate set, which also covers
 // free-text crowdsourcing).
 func NewIndex(ds *Dataset) *Index {
-	idx := &Index{
-		DS:            ds,
-		Views:         map[string]*ObjectView{},
-		SourceObjects: map[string][]string{},
-		WorkerObjects: map[string][]string{},
-	}
+	idx := &Index{DS: ds}
+
 	perObjVals := map[string][]string{}
 	for _, r := range ds.Records {
 		perObjVals[r.Object] = append(perObjVals[r.Object], r.Value)
@@ -96,64 +338,225 @@ func NewIndex(ds *Dataset) *Index {
 	for _, a := range ds.Answers {
 		perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
 	}
-	for o, vals := range perObjVals {
+	idx.Objects = make([]string, 0, len(perObjVals))
+	for o := range perObjVals {
 		idx.Objects = append(idx.Objects, o)
-		ci := hierarchy.NewCandidateIndex(ds.H, vals)
-		idx.Views[o] = &ObjectView{
-			Object:       o,
-			CI:           ci,
-			SourceClaims: map[string]int{},
-			WorkerClaims: map[string]int{},
-			ValueCount:   make([]int, ci.NumValues()),
-		}
 	}
 	sort.Strings(idx.Objects)
+	idx.objectID = make(map[string]int, len(idx.Objects))
+	for i, o := range idx.Objects {
+		idx.objectID[o] = i
+	}
+
+	idx.SourceNames = internNames(len(ds.Records), func(i int) string { return ds.Records[i].Source })
+	idx.WorkerNames = internNames(len(ds.Answers), func(i int) string { return ds.Answers[i].Worker })
+	idx.sourceID = make(map[string]int, len(idx.SourceNames))
+	for i, s := range idx.SourceNames {
+		idx.sourceID[s] = i
+	}
+	idx.workerID = make(map[string]int, len(idx.WorkerNames))
+	for i, w := range idx.WorkerNames {
+		idx.workerID[w] = i
+	}
+
+	idx.Views = make([]ObjectView, len(idx.Objects))
+	for i, o := range idx.Objects {
+		ci := hierarchy.NewCandidateIndex(ds.H, perObjVals[o])
+		idx.Views[i] = ObjectView{
+			Object:     o,
+			ID:         i,
+			CI:         ci,
+			ValueCount: make([]int, ci.NumValues()),
+			idx:        idx,
+		}
+	}
+
+	// Claim ingestion. One claim per (object, source) and per (object,
+	// worker): later duplicates are dropped so the claim lists, ValueCount
+	// and the participant object lists stay mutually consistent — the EM's
+	// M-step normalizers depend on it.
+	idx.SourceObjIDs = make([][]int32, len(idx.SourceNames))
+	idx.WorkerObjIDs = make([][]int32, len(idx.WorkerNames))
+	type pair struct{ o, p int }
+	seen := make(map[pair]bool, len(ds.Records))
 	for _, r := range ds.Records {
-		ov := idx.Views[r.Object]
-		if _, dup := ov.SourceClaims[r.Source]; dup {
-			// One claim per (object, source): later duplicates are dropped
-			// so SourceClaims, ValueCount and SourceObjects stay mutually
-			// consistent — the EM's M-step normalizers depend on it.
+		oid := idx.objectID[r.Object]
+		sid := idx.sourceID[r.Source]
+		if seen[pair{oid, sid}] {
 			continue
 		}
+		seen[pair{oid, sid}] = true
+		ov := &idx.Views[oid]
 		vi := ov.CI.Pos[r.Value]
-		ov.SourceClaims[r.Source] = vi
+		ov.SourceClaims = append(ov.SourceClaims, Claim{int32(sid), int32(vi)})
 		ov.ValueCount[vi]++
-		idx.SourceObjects[r.Source] = append(idx.SourceObjects[r.Source], r.Object)
+		idx.SourceObjIDs[sid] = append(idx.SourceObjIDs[sid], int32(oid))
 	}
+	clear(seen)
 	for _, a := range ds.Answers {
-		ov := idx.Views[a.Object]
-		if _, dup := ov.WorkerClaims[a.Worker]; dup {
-			continue // one answer per (object, worker), same invariant
+		oid := idx.objectID[a.Object]
+		wid := idx.workerID[a.Worker]
+		if seen[pair{oid, wid}] {
+			continue
 		}
-		ov.WorkerClaims[a.Worker] = ov.CI.Pos[a.Value]
-		idx.WorkerObjects[a.Worker] = append(idx.WorkerObjects[a.Worker], a.Object)
+		seen[pair{oid, wid}] = true
+		ov := &idx.Views[oid]
+		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ov.CI.Pos[a.Value])})
+		idx.WorkerObjIDs[wid] = append(idx.WorkerObjIDs[wid], int32(oid))
 	}
-	for s, objs := range idx.SourceObjects {
-		sort.Strings(objs)
-		idx.SourceNames = append(idx.SourceNames, s)
+
+	for i := range idx.Views {
+		ov := &idx.Views[i]
+		sortClaims(ov.SourceClaims)
+		sortClaims(ov.WorkerClaims)
+		ov.precompute()
 	}
-	for w, objs := range idx.WorkerObjects {
-		sort.Strings(objs)
-		idx.WorkerNames = append(idx.WorkerNames, w)
+	for _, objs := range idx.SourceObjIDs {
+		sortInt32(objs)
 	}
-	sort.Strings(idx.SourceNames)
-	sort.Strings(idx.WorkerNames)
+	for _, objs := range idx.WorkerObjIDs {
+		sortInt32(objs)
+	}
+
+	// Global claim numbering and the participant-major transpose.
+	idx.SrcClaimStart = make([]int32, len(idx.Views)+1)
+	idx.WkrClaimStart = make([]int32, len(idx.Views)+1)
+	idx.SourceClaimRefs = make([][]int32, len(idx.SourceNames))
+	idx.WorkerClaimRefs = make([][]int32, len(idx.WorkerNames))
+	for sid, objs := range idx.SourceObjIDs {
+		idx.SourceClaimRefs[sid] = make([]int32, 0, len(objs))
+	}
+	for wid, objs := range idx.WorkerObjIDs {
+		idx.WorkerClaimRefs[wid] = make([]int32, 0, len(objs))
+	}
+	var sGlob, wGlob int32
+	for i := range idx.Views {
+		ov := &idx.Views[i]
+		idx.SrcClaimStart[i] = sGlob
+		idx.WkrClaimStart[i] = wGlob
+		for _, cl := range ov.SourceClaims {
+			idx.SourceClaimRefs[cl.Part] = append(idx.SourceClaimRefs[cl.Part], sGlob)
+			sGlob++
+		}
+		for _, cl := range ov.WorkerClaims {
+			idx.WorkerClaimRefs[cl.Part] = append(idx.WorkerClaimRefs[cl.Part], wGlob)
+			wGlob++
+		}
+	}
+	idx.SrcClaimStart[len(idx.Views)] = sGlob
+	idx.WkrClaimStart[len(idx.Views)] = wGlob
 	return idx
+}
+
+// NumSourceClaims returns the total number of deduplicated source claims.
+func (idx *Index) NumSourceClaims() int {
+	return int(idx.SrcClaimStart[len(idx.SrcClaimStart)-1])
+}
+
+// NumWorkerClaims returns the total number of deduplicated worker answers.
+func (idx *Index) NumWorkerClaims() int {
+	return int(idx.WkrClaimStart[len(idx.WkrClaimStart)-1])
+}
+
+// internNames collects, dedups and sorts the names produced by get.
+func internNames(n int, get func(int) string) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s := get(i)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortClaims orders a claim slice by participant ID.
+func sortClaims(cs []Claim) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Part < cs[j].Part })
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }
 
 // NumObjects returns |O|.
 func (idx *Index) NumObjects() int { return len(idx.Objects) }
 
+// NumSources returns the number of distinct claiming sources.
+func (idx *Index) NumSources() int { return len(idx.SourceNames) }
+
+// NumWorkers returns the number of distinct answering workers.
+func (idx *Index) NumWorkers() int { return len(idx.WorkerNames) }
+
 // View returns the per-object view, or nil if the object is unknown.
-func (idx *Index) View(o string) *ObjectView { return idx.Views[o] }
+func (idx *Index) View(o string) *ObjectView {
+	id, ok := idx.objectID[o]
+	if !ok {
+		return nil
+	}
+	return &idx.Views[id]
+}
+
+// ViewAt returns the view of the object with dense ID id.
+func (idx *Index) ViewAt(id int) *ObjectView { return &idx.Views[id] }
+
+// ObjectID returns the dense ID of object o.
+func (idx *Index) ObjectID(o string) (int, bool) {
+	id, ok := idx.objectID[o]
+	return id, ok
+}
+
+// SourceID returns the dense ID of source s.
+func (idx *Index) SourceID(s string) (int, bool) {
+	id, ok := idx.sourceID[s]
+	return id, ok
+}
+
+// WorkerID returns the dense ID of worker w.
+func (idx *Index) WorkerID(w string) (int, bool) {
+	id, ok := idx.workerID[w]
+	return id, ok
+}
+
+// ObjectsOfSource returns the sorted object names source s claimed (Os).
+func (idx *Index) ObjectsOfSource(s string) []string {
+	id, ok := idx.sourceID[s]
+	if !ok {
+		return nil
+	}
+	return idx.objectNames(idx.SourceObjIDs[id])
+}
+
+// ObjectsOfWorker returns the sorted object names worker w answered (Ow).
+func (idx *Index) ObjectsOfWorker(w string) []string {
+	id, ok := idx.workerID[w]
+	if !ok {
+		return nil
+	}
+	return idx.objectNames(idx.WorkerObjIDs[id])
+}
+
+func (idx *Index) objectNames(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = idx.Objects[id]
+	}
+	return out
+}
 
 // HasAnswered reports whether worker w already answered object o.
 func (idx *Index) HasAnswered(w, o string) bool {
-	ov := idx.Views[o]
-	if ov == nil {
+	oid, ok := idx.objectID[o]
+	if !ok {
 		return false
 	}
-	_, ok := ov.WorkerClaims[w]
+	wid, ok := idx.workerID[w]
+	if !ok {
+		return false
+	}
+	_, ok = findClaim(idx.Views[oid].WorkerClaims, int32(wid))
 	return ok
 }

@@ -1,8 +1,11 @@
 package data
 
 import (
+	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/hierarchy"
 )
 
 func TestIndexStructure(t *testing.T) {
@@ -37,10 +40,10 @@ func TestIndexStructure(t *testing.T) {
 	if idx.HasAnswered("emma", "ghost-object") {
 		t.Fatal("unknown object must report false")
 	}
-	if got := idx.SourceObjects["unesco"]; len(got) != 1 || got[0] != "statue" {
+	if got := idx.ObjectsOfSource("unesco"); len(got) != 1 || got[0] != "statue" {
 		t.Fatalf("Os(unesco) = %v", got)
 	}
-	if got := idx.WorkerObjects["emma"]; len(got) != 1 || got[0] != "bigben" {
+	if got := idx.ObjectsOfWorker("emma"); len(got) != 1 || got[0] != "bigben" {
 		t.Fatalf("Ow(emma) = %v", got)
 	}
 	if len(idx.SourceNames) != 5 || len(idx.WorkerNames) != 1 {
@@ -116,5 +119,197 @@ func TestIndexWorkerExtendsCandidates(t *testing.T) {
 	// Its source count is zero.
 	if ov.ValueCount[ov.CI.Pos["London"]] != 0 {
 		t.Fatal("worker answers must not bump source ValueCount")
+	}
+}
+
+// naivePop2/naivePop3/naiveRel re-derive the popularity and relationship
+// quantities directly from the candidate index, as the seed engine did; the
+// precomputed tables must agree entry for entry.
+func naivePop2(ov *ObjectView, v, tr int) float64 {
+	den := 0
+	for _, a := range ov.CI.Anc[tr] {
+		den += ov.ValueCount[a]
+	}
+	if den == 0 {
+		if g := ov.CI.GoSize(tr); g > 0 {
+			return 1.0 / float64(g)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+func naivePop3(ov *ObjectView, v, tr int) float64 {
+	den, wrong := 0, 0
+	isAnc := map[int]bool{}
+	for _, a := range ov.CI.Anc[tr] {
+		isAnc[a] = true
+	}
+	for i, c := range ov.ValueCount {
+		if i == tr || isAnc[i] {
+			continue
+		}
+		wrong++
+		den += c
+	}
+	if den == 0 {
+		if wrong > 0 {
+			return 1.0 / float64(wrong)
+		}
+		return 0
+	}
+	return float64(ov.ValueCount[v]) / float64(den)
+}
+
+func naiveRel(ov *ObjectView, c, tr int) uint8 {
+	if c == tr {
+		return 1
+	}
+	for _, a := range ov.CI.Anc[tr] {
+		if a == c {
+			return 2
+		}
+	}
+	return 3
+}
+
+func checkTablesMatchNaive(t *testing.T, ov *ObjectView) {
+	t.Helper()
+	nV := ov.CI.NumValues()
+	for c := 0; c < nV; c++ {
+		for tr := 0; tr < nV; tr++ {
+			if got, want := ov.Rel(c, tr), naiveRel(ov, c, tr); got != want {
+				t.Fatalf("Rel(%d,%d) = %d, want %d", c, tr, got, want)
+			}
+			if got, want := ov.Pop2(c, tr), naivePop2(ov, c, tr); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("Pop2(%d,%d) = %v, want %v", c, tr, got, want)
+			}
+			if got, want := ov.Pop3(c, tr), naivePop3(ov, c, tr); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("Pop3(%d,%d) = %v, want %v", c, tr, got, want)
+			}
+			if ov.IsCandAncestor(c, tr) != (naiveRel(ov, c, tr) == 2) {
+				t.Fatalf("IsCandAncestor(%d,%d) disagrees with the ancestor scan", c, tr)
+			}
+		}
+		gp := ov.CI.GoSize(c) > 0
+		wp := nV-ov.CI.GoSize(c)-1 > 0
+		if (ov.CaseMask(c)&1 != 0) != gp || (ov.CaseMask(c)&2 != 0) != wp {
+			t.Fatalf("CaseMask(%d) = %b, want gen=%v wrong=%v", c, ov.CaseMask(c), gp, wp)
+		}
+	}
+}
+
+func TestPrecomputedTablesMatchNaive(t *testing.T) {
+	ds := tinyDataset(t)
+	ds.Records = append(ds.Records, Record{"statue", "extra", "NY"})
+	idx := NewIndex(ds)
+	checkTablesMatchNaive(t, idx.View("statue"))
+	checkTablesMatchNaive(t, idx.View("bigben"))
+}
+
+// TestLargeCandidateSetFallback drives an object past maxDenseTableValues:
+// the O(|Vo|²) tables are skipped but Rel/Pop2/Pop3 must still answer
+// correctly (via the ancestor bitsets) without allocating per call.
+func TestLargeCandidateSetFallback(t *testing.T) {
+	tr := hierarchy.New(hierarchy.Root)
+	tr.MustAdd("P", hierarchy.Root)
+	names := make([]string, 0, maxDenseTableValues+8)
+	for i := 0; i < maxDenseTableValues+7; i++ {
+		v := fmt.Sprintf("v%04d", i)
+		tr.MustAdd(v, "P")
+		names = append(names, v)
+	}
+	tr.Freeze()
+	ds := &Dataset{Name: "big", Truth: map[string]string{}, H: tr}
+	for i, v := range names {
+		ds.Records = append(ds.Records, Record{"o", fmt.Sprintf("s%04d", i), v})
+	}
+	ds.Records = append(ds.Records, Record{"o", "sP", "P"})
+	idx := NewIndex(ds)
+	ov := idx.View("o")
+	if ov.RelRow(0) != nil || ov.Pop2Row(0) != nil || ov.Pop3Row(0) != nil {
+		t.Fatal("dense tables must be skipped above maxDenseTableValues")
+	}
+	p := ov.CI.Pos["P"]
+	v0 := ov.CI.Pos["v0000"]
+	v1 := ov.CI.Pos["v0001"]
+	if ov.Rel(p, v0) != 2 || ov.Rel(v0, v0) != 1 || ov.Rel(v1, v0) != 3 {
+		t.Fatalf("Rel fallback wrong: %d %d %d", ov.Rel(p, v0), ov.Rel(v0, v0), ov.Rel(v1, v0))
+	}
+	if got, want := ov.Pop2(p, v0), naivePop2(ov, p, v0); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Pop2 fallback = %v, want %v", got, want)
+	}
+	if got, want := ov.Pop3(v1, v0), naivePop3(ov, v1, v0); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Pop3 fallback = %v, want %v", got, want)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		_ = ov.Pop3(v1, v0)
+		_ = ov.Rel(v1, v0)
+	})
+	if allocs != 0 {
+		t.Fatalf("fallback Pop3/Rel allocated %v per call", allocs)
+	}
+}
+
+func TestClaimTransposeConsistency(t *testing.T) {
+	ds := tinyDataset(t)
+	idx := NewIndex(ds)
+	// Every global claim ID appears exactly once in the transpose, and the
+	// per-object claim ranges tile [0, NumSourceClaims).
+	seen := map[int32]bool{}
+	for sid, refs := range idx.SourceClaimRefs {
+		if len(refs) != len(idx.SourceObjIDs[sid]) {
+			t.Fatalf("source %s: %d refs vs %d objects", idx.SourceNames[sid], len(refs), len(idx.SourceObjIDs[sid]))
+		}
+		for _, gi := range refs {
+			if seen[gi] {
+				t.Fatalf("claim %d appears twice", gi)
+			}
+			seen[gi] = true
+		}
+	}
+	if len(seen) != idx.NumSourceClaims() {
+		t.Fatalf("transpose covers %d of %d claims", len(seen), idx.NumSourceClaims())
+	}
+	for oid := range idx.Views {
+		lo, hi := idx.SrcClaimStart[oid], idx.SrcClaimStart[oid+1]
+		if int(hi-lo) != len(idx.Views[oid].SourceClaims) {
+			t.Fatalf("object %s: claim range %d..%d vs %d claims",
+				idx.Objects[oid], lo, hi, len(idx.Views[oid].SourceClaims))
+		}
+	}
+}
+
+func TestNameIDRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	idx := NewIndex(ds)
+	for i, o := range idx.Objects {
+		if id, ok := idx.ObjectID(o); !ok || id != i {
+			t.Fatalf("ObjectID(%s) = %d,%v", o, id, ok)
+		}
+		if idx.ViewAt(i) != idx.View(o) {
+			t.Fatalf("ViewAt/View disagree on %s", o)
+		}
+	}
+	for i, s := range idx.SourceNames {
+		if id, ok := idx.SourceID(s); !ok || id != i {
+			t.Fatalf("SourceID(%s) = %d,%v", s, id, ok)
+		}
+	}
+	for i, w := range idx.WorkerNames {
+		if id, ok := idx.WorkerID(w); !ok || id != i {
+			t.Fatalf("WorkerID(%s) = %d,%v", w, id, ok)
+		}
+	}
+	ov := idx.View("statue")
+	if c, ok := ov.SourceClaim("unesco"); !ok || ov.CI.Values[c] != "NY" {
+		t.Fatalf("SourceClaim(unesco) = %d,%v", c, ok)
+	}
+	if _, ok := ov.SourceClaim("no-such-source"); ok {
+		t.Fatal("unknown source must not resolve")
+	}
+	bb := idx.View("bigben")
+	if c, ok := bb.WorkerClaim("emma"); !ok || bb.CI.Values[c] != "London" {
+		t.Fatalf("WorkerClaim(emma) = %d,%v", c, ok)
 	}
 }

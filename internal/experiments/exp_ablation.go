@@ -113,7 +113,7 @@ func ablationIncremental(cfg Config) *Report {
 			ds2.Answers = append(ds2.Answers, data.Answer{Object: o, Worker: "hyp-worker", Value: ov.CI.Values[ans]})
 			m2 := core.Run(data.NewIndex(ds2), opt)
 			fullTime += time.Since(t1)
-			full := m2.Mu[o]
+			full := m2.MuOf(o)
 
 			mi, mf := argmaxF(inc), argmaxF(full)
 			if mi == mf {

@@ -10,6 +10,12 @@ import (
 // EM with Beta smoothing. Wrong answers are uniform over the remaining
 // candidates. Objects without a domain label share the "~" domain.
 //
+// Like every baseline in this package, DOCS walks claims through claimsOf,
+// which reads the index's dense ID-sorted claim slices (see
+// data.ObjectView) and resolves participant IDs back to names — baselines
+// pay one name materialization per claim, while the TDH hot path in
+// internal/core stays entirely on dense IDs.
+//
 // DOCS proper derives domains from a knowledge base; here domains come from
 // Dataset.Domains (the synthetic generators label each object with the
 // top-level ancestor of its true value, standing in for the KB).

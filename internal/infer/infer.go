@@ -5,8 +5,6 @@
 package infer
 
 import (
-	"sort"
-
 	"repro/internal/data"
 )
 
@@ -76,7 +74,8 @@ type provider struct {
 }
 
 // claimsOf lists (provider, candidate-index) claims of an object view in
-// deterministic order.
+// deterministic order: sources then workers, each sorted by name (claim
+// slices are sorted by dense ID, and IDs follow sorted-name order).
 func claimsOf(ov *data.ObjectView) []struct {
 	p provider
 	c int
@@ -85,27 +84,17 @@ func claimsOf(ov *data.ObjectView) []struct {
 		p provider
 		c int
 	}, 0, len(ov.SourceClaims)+len(ov.WorkerClaims))
-	names := make([]string, 0, len(ov.SourceClaims))
-	for s := range ov.SourceClaims {
-		names = append(names, s)
-	}
-	sort.Strings(names)
-	for _, s := range names {
+	for _, cl := range ov.SourceClaims {
 		out = append(out, struct {
 			p provider
 			c int
-		}{provider{s, false}, ov.SourceClaims[s]})
+		}{provider{ov.SourceName(cl.Part), false}, int(cl.Val)})
 	}
-	names = names[:0]
-	for w := range ov.WorkerClaims {
-		names = append(names, w)
-	}
-	sort.Strings(names)
-	for _, w := range names {
+	for _, cl := range ov.WorkerClaims {
 		out = append(out, struct {
 			p provider
 			c int
-		}{provider{w, true}, ov.WorkerClaims[w]})
+		}{provider{ov.WorkerName(cl.Part), true}, int(cl.Val)})
 	}
 	return out
 }

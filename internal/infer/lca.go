@@ -34,8 +34,8 @@ func (l LCA) Infer(idx *data.Index) *Result {
 		for i := range g {
 			g[i] = float64(ov.ValueCount[i]) + 1
 		}
-		for _, ci := range ov.WorkerClaims {
-			g[ci]++
+		for _, cl := range ov.WorkerClaims {
+			g[cl.Val]++
 		}
 		normalize(g)
 		guess[o] = g

@@ -35,6 +35,7 @@ func (t TDH) Infer(idx *data.Index) *Result {
 // a Result. Confidence slices are copied, so the Result stays valid even if
 // the model is later cloned and advanced by streaming updates.
 func ResultFromModel(m *core.Model) *Result {
+	idx := m.Idx
 	res := &Result{
 		Truths:      m.Truths(),
 		Confidence:  make(map[string][]float64, len(m.Mu)),
@@ -42,14 +43,14 @@ func ResultFromModel(m *core.Model) *Result {
 		WorkerTrust: make(map[string]float64, len(m.Psi)),
 		Model:       m,
 	}
-	for o, mu := range m.Mu {
-		res.Confidence[o] = append([]float64(nil), mu...)
+	for oid, o := range idx.Objects {
+		res.Confidence[o] = append([]float64(nil), m.Mu[oid]...)
 	}
-	for s, phi := range m.Phi {
-		res.SourceTrust[s] = phi[0]
+	for sid, s := range idx.SourceNames {
+		res.SourceTrust[s] = m.Phi[sid][0]
 	}
-	for w, psi := range m.Psi {
-		res.WorkerTrust[w] = psi[0]
+	for wid, w := range idx.WorkerNames {
+		res.WorkerTrust[w] = m.Psi[wid][0]
 	}
 	return res
 }

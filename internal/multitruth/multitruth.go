@@ -56,18 +56,15 @@ func claimersOf(ov *data.ObjectView, closure bool) (providers []string, claims [
 		name string
 		c    int
 	}
+	// Claim slices are sorted by dense ID (= sorted-name order) and "s:"
+	// sorts before "w:", so appending sources then workers is already the
+	// deterministic prefixed-name order.
 	var cls []cl
-	for s, c := range ov.SourceClaims {
-		cls = append(cls, cl{"s:" + s, c})
+	for _, c := range ov.SourceClaims {
+		cls = append(cls, cl{"s:" + ov.SourceName(c.Part), int(c.Val)})
 	}
-	for w, c := range ov.WorkerClaims {
-		cls = append(cls, cl{"w:" + w, c})
-	}
-	// Deterministic order.
-	for i := 1; i < len(cls); i++ {
-		for j := i; j > 0 && cls[j].name < cls[j-1].name; j-- {
-			cls[j], cls[j-1] = cls[j-1], cls[j]
-		}
+	for _, c := range ov.WorkerClaims {
+		cls = append(cls, cl{"w:" + ov.WorkerName(c.Part), int(c.Val)})
 	}
 	n := ov.CI.NumValues()
 	for _, c := range cls {

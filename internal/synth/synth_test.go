@@ -123,7 +123,7 @@ func TestHeritagesStatistics(t *testing.T) {
 	idx := data.NewIndex(ds)
 	small := 0
 	for _, s := range idx.SourceNames {
-		if len(idx.SourceObjects[s]) <= 3 {
+		if len(idx.ObjectsOfSource(s)) <= 3 {
 			small++
 		}
 	}
