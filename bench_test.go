@@ -267,6 +267,44 @@ func BenchmarkIndexBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkTaskThroughput measures cold-worker /task serving: every request
+// arrives from a worker with no pending assignment, so each one runs the
+// full EAI assignment path against the published snapshot. With the
+// snapshot-resident plan this is a bounded scan over precomputed UEAI
+// bounds; without it (pre-planner) every request rebuilt an O(|O|) bound
+// map plus an O(|O| log |O|) heap.
+func BenchmarkTaskThroughput(b *testing.B) {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 7, Scale: 0.25})
+	srv, err := server.New(server.Config{
+		Dataset:    ds,
+		Inferencer: infer.NewTDH(),
+		Assigner:   assign.EAI{},
+		K:          5,
+		Seed:       7,
+		// No answers arrive, so no refits: every request hits one snapshot.
+		Policy: server.RefitPolicy{MaxAnswers: -1, MaxStaleness: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("GET", fmt.Sprintf("/task?worker=cold-%d", i), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("task %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "tasks/sec")
+	}
+}
+
 // BenchmarkServerThroughput measures the crowd server's ingest rate
 // (answers/sec, the per-iteration metric) while concurrent readers hammer
 // the snapshot-served read endpoints. Because reads take no lock shared

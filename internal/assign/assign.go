@@ -2,11 +2,19 @@
 // discovery (Section 4): the paper's EAI algorithm with its incremental EM
 // and UEAI pruning bound, plus the compared baselines QASCA, ME
 // (max-entropy / uncertainty sampling) and MB (DOCS's assigner).
+//
+// All assigners run dense-ID-based over a shared, immutable Plan — the
+// worker-independent precompute (UEAI bounds and scan order, per-object
+// max-confidence and entropy, confidence rows keyed by object ID) that the
+// crowd server builds once per published snapshot and attaches to the
+// Context. Per request, an assigner only does the worker-dependent part:
+// filtering the worker's answered set and scoring/ranking against the plan.
+// Callers that do not provide a Plan (the crowd loop, experiments) get one
+// built on the fly, so the name-keyed Assigner interface is unchanged.
 package assign
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/data"
 	"repro/internal/infer"
@@ -18,6 +26,11 @@ type Context struct {
 	// Res is the inference result of the current round; assigners read
 	// confidences, trust values and (for EAI/MB) the model state.
 	Res *infer.Result
+	// Plan, when set, is the precomputed worker-independent plan for
+	// (Idx, Res) — the server attaches the snapshot-resident plan here so
+	// /task serving never rebuilds it per request. Assigners fall back to
+	// building one when it is absent or belongs to a different snapshot.
+	Plan *Plan
 	// Workers are the workers available this round.
 	Workers []string
 	// K is the number of questions per worker.
@@ -62,58 +75,34 @@ func workerTrustOf(res *infer.Result, w string, def float64) float64 {
 	return def
 }
 
-// rankObjectsBy scores every object and returns them best-first.
-func rankObjectsBy(idx *data.Index, score func(o string) float64) []string {
-	type so struct {
-		o string
-		s float64
-	}
-	scored := make([]so, 0, len(idx.Objects))
-	for _, o := range idx.Objects {
-		scored = append(scored, so{o, score(o)})
-	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].s != scored[j].s {
-			return scored[i].s > scored[j].s
-		}
-		return scored[i].o < scored[j].o
-	})
-	out := make([]string, len(scored))
-	for i, s := range scored {
-		out[i] = s.o
-	}
-	return out
-}
-
-// dealOut assigns ranked objects round-robin to workers, skipping objects a
-// worker has already answered, with at most k per worker and each object to
-// at most one worker (the paper's single-answer-per-round policy).
-func dealOut(ctx *Context, ranked []string) map[string][]string {
+// dealOut assigns ranked object IDs round-robin to workers, skipping objects
+// a worker has already answered, with at most k per worker and each object
+// to at most one worker (the paper's single-answer-per-round policy).
+func dealOut(ctx *Context, ranked []int32) map[string][]string {
 	out := make(map[string][]string, len(ctx.Workers))
 	if len(ctx.Workers) == 0 || ctx.K <= 0 {
 		return out
 	}
+	wids := workerIDs(ctx.Idx, ctx.Workers)
 	need := len(ctx.Workers) * ctx.K
 	wi := 0
-	for _, o := range ranked {
+	for _, oid := range ranked {
 		if need == 0 {
 			break
 		}
 		// Find the next worker (starting at wi) with room who hasn't
-		// answered o.
-		placed := false
+		// answered oid.
 		for probe := 0; probe < len(ctx.Workers); probe++ {
-			w := ctx.Workers[(wi+probe)%len(ctx.Workers)]
-			if len(out[w]) >= ctx.K || ctx.Idx.HasAnswered(w, o) {
+			j := (wi + probe) % len(ctx.Workers)
+			w := ctx.Workers[j]
+			if len(out[w]) >= ctx.K || ctx.Idx.HasAnsweredAt(wids[j], int(oid)) {
 				continue
 			}
-			out[w] = append(out[w], o)
+			out[w] = append(out[w], ctx.Idx.Objects[oid])
 			wi = (wi + probe + 1) % len(ctx.Workers)
 			need--
-			placed = true
 			break
 		}
-		_ = placed
 	}
 	return out
 }

@@ -18,6 +18,11 @@ import (
 // of the upper bound UEAI(o) (Lemma 4.1) and handed to workers in
 // decreasing ψ_{w,1}, with per-worker min-heaps of size K; the UEAI bound
 // prunes EAI evaluations that cannot enter a heap.
+//
+// The UEAI bounds and their decreasing-bound scan order are worker-
+// independent, so they live in the shared Plan (precomputed once per
+// snapshot); an Assign call only walks that order, filters each worker's
+// answered set, and evaluates EAI where the bound admits it.
 type EAI struct {
 	// DisablePruning computes EAI for every (worker, object) pair —
 	// the ablation measured in Figure 13.
@@ -39,35 +44,12 @@ type EAIStats struct {
 	Pruned    int // evaluations skipped by the UEAI bound
 }
 
-// ueaiEntry is a (bound, object) pair in the max-heap.
-type ueaiEntry struct {
-	ub float64
-	o  string
-}
-
-type ueaiHeap []ueaiEntry
-
-func (h ueaiHeap) Len() int      { return len(h) }
-func (h ueaiHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h ueaiHeap) Less(i, j int) bool {
-	if h[i].ub != h[j].ub {
-		return h[i].ub > h[j].ub // max-heap
-	}
-	return h[i].o < h[j].o
-}
-func (h *ueaiHeap) Push(x any) { *h = append(*h, x.(ueaiEntry)) }
-func (h *ueaiHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// eaiEntry is a (score, object) pair in a per-worker min-heap.
+// eaiEntry is a (score, object ID) pair in a per-worker min-heap. Object
+// IDs order like object names (Idx.Objects is sorted), so the ID tie-break
+// matches the original name-based one.
 type eaiEntry struct {
 	score float64
-	o     string
+	oid   int32
 }
 
 type eaiHeap []eaiEntry
@@ -78,7 +60,7 @@ func (h eaiHeap) Less(i, j int) bool {
 	if h[i].score != h[j].score {
 		return h[i].score < h[j].score // min-heap
 	}
-	return h[i].o > h[j].o
+	return h[i].oid > h[j].oid
 }
 func (h *eaiHeap) Push(x any) { *h = append(*h, x.(eaiEntry)) }
 func (h *eaiHeap) Pop() any {
@@ -98,7 +80,11 @@ func (e EAI) Assign(ctx *Context) map[string][]string {
 
 // AssignWithStats is Assign plus pruning statistics.
 func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
-	m := ctx.Res.Model.(*core.Model)
+	p := ctx.plan()
+	m := p.M
+	if m == nil {
+		m = ctx.Res.Model.(*core.Model)
+	}
 	var stats EAIStats
 	nObj := float64(len(ctx.Idx.Objects))
 	out := make(map[string][]string, len(ctx.Workers))
@@ -106,27 +92,34 @@ func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
 		return out, stats
 	}
 
-	// Upper bounds UEAI(o) = (1 - max μ) / (|O|·(D_o + 1))  (Lemma 4.1).
-	// Object names come from the assignment context; dense IDs are resolved
-	// through the MODEL's index, which may lag a freshly rebuilt ctx.Idx.
-	ub := make(ueaiHeap, 0, len(ctx.Idx.Objects))
-	ubOf := make(map[string]float64, len(ctx.Idx.Objects))
-	for _, o := range ctx.Idx.Objects {
-		oid, ok := m.Idx.ObjectID(o)
-		if !ok {
-			continue // object unknown to the fitted model; skip until refit
-		}
-		b := (1 - m.MaxConfidenceAt(oid)) / (nObj * (m.D[oid] + 1))
-		ubOf[o] = b
-		ub = append(ub, ueaiEntry{b, o})
-	}
-	heap.Init(&ub)
-
-	// Workers in decreasing ψ_{w,1}.
+	// Workers in decreasing ψ_{w,1} (Algorithm 1); ψ and dense worker IDs
+	// are resolved once per call.
 	workers := append([]string(nil), ctx.Workers...)
 	sort.SliceStable(workers, func(i, j int) bool {
 		return m.PsiOf(workers[i])[0] > m.PsiOf(workers[j])[0]
 	})
+	wids := workerIDs(ctx.Idx, workers)
+	psis := make([][3]float64, len(workers))
+	cached := make([]bool, len(workers))
+	anyCached := false
+	// The cold-worker score cache applies only to a pre-attached (shared,
+	// typically prewarmed) plan: filling it inside a per-call fallback
+	// build would evaluate EAI for every object up front, defeating the
+	// very pruning Lemma 4.1 provides — and the Figure 13 ablation that
+	// measures it.
+	attached := ctx.Plan == p
+	for i, w := range workers {
+		psis[i] = m.PsiOf(w)
+		// Workers at the prior-mean ψ (every cold worker) read the plan's
+		// precomputed scores; eaiAt with the same inputs returns the same
+		// float, so the cache changes nothing but the evaluation cost.
+		cached[i] = attached && p.M == m && psis[i] == p.defaultPsi
+		anyCached = anyCached || cached[i]
+	}
+	var defScores []float64
+	if anyCached {
+		defScores = p.defaultScores()
+	}
 	heaps := make([]eaiHeap, len(workers))
 
 	full := func() bool {
@@ -152,55 +145,62 @@ func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
 		return mn
 	}
 
-	for ub.Len() > 0 {
-		top := heap.Pop(&ub).(ueaiEntry)
-		if !e.DisablePruning && full() && minOverAll() > top.ub {
+	// Walk the precomputed UEAI order — the same sequence the original
+	// per-call max-heap popped, without rebuilding bounds per request.
+	for _, en := range p.ueaiOrder {
+		if !e.DisablePruning && full() && minOverAll() > en.ub {
 			break // no remaining object can displace anything (Alg. 1, l.8)
 		}
-		cur := top.o
-		for wi := 0; wi < len(workers) && cur != ""; wi++ {
-			w := workers[wi]
-			if ctx.Idx.HasAnswered(w, cur) {
+		cur := en.oid
+		for wi := 0; wi < len(workers) && cur >= 0; wi++ {
+			if ctx.Idx.HasAnsweredAt(wids[wi], int(cur)) {
 				continue
 			}
-			if !e.DisablePruning && len(heaps[wi]) >= ctx.K && heaps[wi][0].score >= ubOf[cur] {
+			if !e.DisablePruning && len(heaps[wi]) >= ctx.K && heaps[wi][0].score >= p.ueai[cur] {
 				stats.Pruned++
 				continue // cannot beat this worker's current minimum
 			}
-			score := e.eai(m, ctx, w, cur, nObj)
+			var score float64
+			if cached[wi] {
+				score = defScores[cur]
+			} else {
+				score = eaiAt(m, int(p.modelOid[cur]), psis[wi], nObj)
+			}
 			stats.Evaluated++
 			if len(heaps[wi]) < ctx.K {
 				heap.Push(&heaps[wi], eaiEntry{score, cur})
-				cur = ""
+				cur = -1
 				break
 			}
 			if score > heaps[wi][0].score {
 				displaced := heap.Pop(&heaps[wi]).(eaiEntry)
 				heap.Push(&heaps[wi], eaiEntry{score, cur})
-				cur = displaced.o // hand the evicted object to the next worker
+				cur = displaced.oid // hand the evicted object to the next worker
 			}
 		}
 	}
 	for wi, w := range workers {
-		objs := make([]string, 0, len(heaps[wi]))
+		ids := make([]int32, 0, len(heaps[wi]))
 		for _, en := range heaps[wi] {
-			objs = append(objs, en.o)
+			ids = append(ids, en.oid)
 		}
-		sort.Strings(objs)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		objs := make([]string, len(ids))
+		for i, oid := range ids {
+			objs[i] = ctx.Idx.Objects[oid]
+		}
 		out[w] = objs
 	}
 	return out, stats
 }
 
-// eai computes EAI(w, o) per Eqs. (14)–(15) with the incremental EM. The
-// object name resolves to its dense ID once; the per-answer loop then runs
-// entirely on ID-indexed state.
-func (e EAI) eai(m *core.Model, ctx *Context, w, o string, nObj float64) float64 {
-	oid, ok := m.Idx.ObjectID(o)
-	if !ok {
+// eaiAt computes EAI(w, o) per Eqs. (14)–(15) with the incremental EM,
+// entirely on ID-indexed model state. oid is the MODEL's dense object ID
+// (-1 when the object is unknown to the fitted model).
+func eaiAt(m *core.Model, oid int, psi [3]float64, nObj float64) float64 {
+	if oid < 0 {
 		return 0
 	}
-	psi := m.PsiOf(w)
 	mu := m.Mu[oid]
 	cur := maxOf(mu)
 	exp := 0.0
@@ -227,7 +227,9 @@ func (e EAI) eai(m *core.Model, ctx *Context, w, o string, nObj float64) float64
 // used by the Figure 7 experiment to compare estimated vs actual
 // improvement.
 func EAIOf(m *core.Model, numObjects int, w, o string) float64 {
-	e := EAI{}
-	ctx := &Context{}
-	return e.eai(m, ctx, w, o, float64(numObjects))
+	oid, ok := m.Idx.ObjectID(o)
+	if !ok {
+		return 0
+	}
+	return eaiAt(m, oid, m.PsiOf(w), float64(numObjects))
 }

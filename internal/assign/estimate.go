@@ -17,8 +17,11 @@ func (e EAI) EstimateImprovement(ctx *Context, assignment map[string][]string) f
 	n := float64(len(ctx.Idx.Objects))
 	total := 0.0
 	for w, objs := range assignment {
+		psi := m.PsiOf(w)
 		for _, o := range objs {
-			total += e.eai(m, ctx, w, o, n)
+			if oid, ok := m.Idx.ObjectID(o); ok {
+				total += eaiAt(m, oid, psi, n)
+			}
 		}
 	}
 	return total

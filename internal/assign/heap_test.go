@@ -2,7 +2,6 @@ package assign
 
 import (
 	"container/heap"
-	"sort"
 	"testing"
 	"testing/quick"
 
@@ -11,79 +10,114 @@ import (
 	"repro/internal/synth"
 )
 
-func TestUEAIHeapOrdering(t *testing.T) {
-	h := ueaiHeap{}
-	heap.Init(&h)
-	vals := []float64{0.3, 0.9, 0.1, 0.5, 0.9}
-	for i, v := range vals {
-		heap.Push(&h, ueaiEntry{ub: v, o: string(rune('a' + i))})
-	}
-	var got []float64
-	for h.Len() > 0 {
-		got = append(got, heap.Pop(&h).(ueaiEntry).ub)
-	}
-	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(got))) {
-		t.Fatalf("max-heap pop order wrong: %v", got)
-	}
-}
-
-func TestUEAIHeapTieBreak(t *testing.T) {
-	h := ueaiHeap{}
-	heap.Init(&h)
-	heap.Push(&h, ueaiEntry{ub: 0.5, o: "zebra"})
-	heap.Push(&h, ueaiEntry{ub: 0.5, o: "apple"})
-	if heap.Pop(&h).(ueaiEntry).o != "apple" {
-		t.Fatal("equal bounds must pop lexicographically")
-	}
-}
-
 func TestEAIHeapIsMinHeap(t *testing.T) {
 	h := eaiHeap{}
 	heap.Init(&h)
 	for _, v := range []float64{0.4, 0.1, 0.7, 0.2} {
-		heap.Push(&h, eaiEntry{score: v, o: "x"})
+		heap.Push(&h, eaiEntry{score: v, oid: 0})
 	}
 	if heap.Pop(&h).(eaiEntry).score != 0.1 {
 		t.Fatal("min-heap pop order wrong")
 	}
 }
 
-// TestQuickHeapsSorted: pushing any value sequence and draining yields the
-// respective sorted orders.
-func TestQuickHeapsSorted(t *testing.T) {
+func TestEAIHeapTieBreak(t *testing.T) {
+	// Equal scores: the LARGER object ID must pop first (min-heap mirrors
+	// the old name-descending tie-break, and ID order == name order).
+	h := eaiHeap{}
+	heap.Init(&h)
+	heap.Push(&h, eaiEntry{score: 0.5, oid: 3})
+	heap.Push(&h, eaiEntry{score: 0.5, oid: 9})
+	if heap.Pop(&h).(eaiEntry).oid != 9 {
+		t.Fatal("equal scores must pop the larger object ID first")
+	}
+}
+
+// TestQuickEAIHeapSorted: pushing any value sequence and draining yields
+// non-decreasing scores.
+func TestQuickEAIHeapSorted(t *testing.T) {
 	f := func(raw []float64) bool {
-		maxH := ueaiHeap{}
-		minH := eaiHeap{}
-		heap.Init(&maxH)
-		heap.Init(&minH)
+		h := eaiHeap{}
+		heap.Init(&h)
 		for i, v := range raw {
 			if v != v { // NaN would poison any heap
 				continue
 			}
-			heap.Push(&maxH, ueaiEntry{ub: v, o: string(rune('a' + i%26))})
-			heap.Push(&minH, eaiEntry{score: v, o: string(rune('a' + i%26))})
+			heap.Push(&h, eaiEntry{score: v, oid: int32(i)})
 		}
-		prevMax := 0.0
-		for i := 0; maxH.Len() > 0; i++ {
-			v := heap.Pop(&maxH).(ueaiEntry).ub
-			if i > 0 && v > prevMax {
+		prev := 0.0
+		for i := 0; h.Len() > 0; i++ {
+			v := heap.Pop(&h).(eaiEntry).score
+			if i > 0 && v < prev {
 				return false
 			}
-			prevMax = v
-		}
-		prevMin := 0.0
-		for i := 0; minH.Len() > 0; i++ {
-			v := heap.Pop(&minH).(eaiEntry).score
-			if i > 0 && v < prevMin {
-				return false
-			}
-			prevMin = v
+			prev = v
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestPlanUEAIOrderSorted: the precomputed scan order replaces the old
+// per-call max-heap, so it must be exactly heap pop order — bounds
+// non-increasing, ties broken by ascending object ID (= name).
+func TestPlanUEAIOrderSorted(t *testing.T) {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 3, Scale: 0.05})
+	idx := data.NewIndex(ds)
+	res := infer.NewTDH().Infer(idx)
+	p := NewPlan(idx, res)
+	if len(p.ueaiOrder) != idx.NumObjects() {
+		t.Fatalf("plan order covers %d of %d objects", len(p.ueaiOrder), idx.NumObjects())
+	}
+	for i := 1; i < len(p.ueaiOrder); i++ {
+		a, b := p.ueaiOrder[i-1], p.ueaiOrder[i]
+		if a.ub < b.ub || (a.ub == b.ub && a.oid >= b.oid) {
+			t.Fatalf("entry %d out of order: (%v,%d) before (%v,%d)", i, a.ub, a.oid, b.ub, b.oid)
+		}
+		if p.ueai[a.oid] != a.ub {
+			t.Fatalf("ueai[%d] = %v disagrees with order entry %v", a.oid, p.ueai[a.oid], a.ub)
+		}
+	}
+}
+
+// TestPlanEntropyOrderDeterministic: ME's precomputed ranking is a
+// deterministic permutation sorted by non-increasing entropy.
+func TestPlanEntropyOrderDeterministic(t *testing.T) {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 23, Scale: 0.05})
+	idx := data.NewIndex(ds)
+	res := infer.NewTDH().Infer(idx)
+	a := NewPlan(idx, res)
+	b := NewPlan(idx, res)
+	for i := range a.entOrder {
+		if a.entOrder[i] != b.entOrder[i] {
+			t.Fatal("entropy ranking with ties must be deterministic")
+		}
+	}
+	for i := 1; i < len(a.entOrder); i++ {
+		if a.Ent[a.entOrder[i]] > a.Ent[a.entOrder[i-1]] {
+			t.Fatal("not sorted by entropy")
+		}
+	}
+	seen := map[int32]bool{}
+	for _, oid := range a.entOrder {
+		if seen[oid] {
+			t.Fatalf("object %d ranked twice", oid)
+		}
+		seen[oid] = true
+	}
+	if len(seen) != idx.NumObjects() {
+		t.Fatalf("ranking covers %d of %d objects", len(seen), idx.NumObjects())
+	}
+}
+
+func rankedIDs(idx *data.Index) []int32 {
+	ids := make([]int32, idx.NumObjects())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
 }
 
 func TestDealOut(t *testing.T) {
@@ -95,8 +129,7 @@ func TestDealOut(t *testing.T) {
 	idx := data.NewIndex(ds)
 	res := infer.Vote{}.Infer(idx)
 	ctx := &Context{Idx: idx, Res: res, Workers: []string{"w0", "w1", "w2"}, K: 2}
-	ranked := append([]string(nil), idx.Objects...)
-	out := dealOut(ctx, ranked)
+	out := dealOut(ctx, rankedIDs(idx))
 	seen := map[string]bool{}
 	for w, objs := range out {
 		if len(objs) > 2 {
@@ -132,28 +165,9 @@ func TestDealOutFewObjects(t *testing.T) {
 	idx := data.NewIndex(ds)
 	res := infer.Vote{}.Infer(idx)
 	ctx := &Context{Idx: idx, Res: res, Workers: []string{"w0", "w1"}, K: 3}
-	out := dealOut(ctx, idx.Objects)
+	out := dealOut(ctx, rankedIDs(idx))
 	total := len(out["w0"]) + len(out["w1"])
 	if total != 1 {
 		t.Fatalf("one object must be dealt exactly once, got %d", total)
-	}
-}
-
-func TestRankObjectsByDeterministic(t *testing.T) {
-	ds := synth.Heritages(synth.HeritagesConfig{Seed: 23, Scale: 0.05})
-	idx := data.NewIndex(ds)
-	score := func(o string) float64 { return float64(len(o) % 3) } // many ties
-	a := rankObjectsBy(idx, score)
-	b := rankObjectsBy(idx, score)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("ranking with ties must be deterministic")
-		}
-	}
-	// Scores must be non-increasing.
-	for i := 1; i < len(a); i++ {
-		if score(a[i]) > score(a[i-1]) {
-			t.Fatal("not sorted by score")
-		}
 	}
 }

@@ -13,7 +13,9 @@ import (
 //	score(w,o) = H(μ_o) - Σ_{v'} P(v'|q_{w,d}, μ_o) · H(μ_o | v')
 //
 // where the answer model is the DOCS one: correct with probability
-// q_{w,d(o)}, otherwise uniform over the remaining candidates.
+// q_{w,d(o)}, otherwise uniform over the remaining candidates. The prior
+// entropies H(μ_o) and the confidence rows come precomputed from the
+// shared Plan; only the worker-quality-dependent expectation runs per call.
 type MB struct{}
 
 // Name implements Assigner.
@@ -23,22 +25,25 @@ func (MB) Name() string { return "MB" }
 // *infer.DOCSState (MB is DOCS-specific, as in the paper); without one it
 // falls back to the scalar worker trust.
 func (MB) Assign(ctx *Context) map[string][]string {
+	p := ctx.plan()
 	st, _ := ctx.Res.Model.(*infer.DOCSState)
 	out := make(map[string][]string, len(ctx.Workers))
+	wids := workerIDs(ctx.Idx, ctx.Workers)
 	// Each worker's assignment is optimized independently, as in the
 	// original system where assignment happens when a worker requests
 	// tasks: two workers may receive the same hot object in one round.
-	for _, w := range ctx.Workers {
+	for widx, w := range ctx.Workers {
 		type scored struct {
-			o string
-			s float64
+			oid int32
+			s   float64
 		}
 		var cand []scored
-		for _, o := range ctx.Idx.Objects {
-			if ctx.Idx.HasAnswered(w, o) {
+		var post []float64
+		for oid := range p.Mu {
+			if ctx.Idx.HasAnsweredAt(wids[widx], oid) {
 				continue
 			}
-			mu := ctx.Res.Confidence[o]
+			mu := p.Mu[oid]
 			n := len(mu)
 			if n < 2 {
 				continue
@@ -46,7 +51,7 @@ func (MB) Assign(ctx *Context) map[string][]string {
 			var q float64
 			if st != nil {
 				dom := "~"
-				if d, ok := ctx.Idx.DS.Domains[o]; ok && d != "" {
+				if d, ok := ctx.Idx.DS.Domains[ctx.Idx.Objects[oid]]; ok && d != "" {
 					dom = d
 				}
 				q = st.Quality(w, dom)
@@ -54,9 +59,12 @@ func (MB) Assign(ctx *Context) map[string][]string {
 				q = workerTrustOf(ctx.Res, w, 0.7)
 			}
 			wrong := (1 - q) / float64(n-1)
-			h0 := entropy(mu)
+			h0 := p.Ent[oid]
 			expH := 0.0
-			post := make([]float64, n)
+			if cap(post) < n {
+				post = make([]float64, n)
+			}
+			post = post[:n]
 			for ans := 0; ans < n; ans++ {
 				// P(answer = ans) under the DOCS model.
 				pAns := 0.0
@@ -84,16 +92,16 @@ func (MB) Assign(ctx *Context) map[string][]string {
 				}
 				expH += pAns * entropy(post)
 			}
-			cand = append(cand, scored{o, h0 - expH})
+			cand = append(cand, scored{int32(oid), h0 - expH})
 		}
 		sort.Slice(cand, func(i, j int) bool {
 			if cand[i].s != cand[j].s {
 				return cand[i].s > cand[j].s
 			}
-			return cand[i].o < cand[j].o
+			return cand[i].oid < cand[j].oid
 		})
 		for i := 0; i < len(cand) && len(out[w]) < ctx.K; i++ {
-			out[w] = append(out[w], cand[i].o)
+			out[w] = append(out[w], ctx.Idx.Objects[cand[i].oid])
 		}
 	}
 	return out

@@ -3,7 +3,9 @@ package assign
 // ME is the uncertainty-sampling baseline (Section 5.1): each round the
 // objects whose confidence distributions have the highest entropy are
 // asked, regardless of the expected accuracy gain. It runs on top of any
-// inference algorithm since it needs only Result.Confidence.
+// inference algorithm since it needs only Result.Confidence. The entropy
+// ranking is worker-independent, so it comes precomputed from the shared
+// Plan; per call ME only deals the ranked objects out to the workers.
 type ME struct{}
 
 // Name implements Assigner.
@@ -11,8 +13,5 @@ func (ME) Name() string { return "ME" }
 
 // Assign implements Assigner.
 func (ME) Assign(ctx *Context) map[string][]string {
-	ranked := rankObjectsBy(ctx.Idx, func(o string) float64 {
-		return entropy(ctx.Res.Confidence[o])
-	})
-	return dealOut(ctx, ranked)
+	return dealOut(ctx, ctx.plan().entOrder)
 }

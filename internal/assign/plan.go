@@ -1,0 +1,186 @@
+package assign
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// Plan is the worker-independent half of a task-assignment round,
+// precomputed once per (Index, Result) pair: per-object confidence rows,
+// max-confidence and entropy keyed by dense object ID, ME's entropy
+// ranking, and — when the result carries a TDH model — the UEAI bounds of
+// Lemma 4.1 with the decreasing-bound scan order of Algorithm 1.
+//
+// The crowd server builds one Plan per published Snapshot and attaches it
+// to every assignment Context, so a cold-worker /task request is a bounded
+// scan over shared read-only arrays instead of an O(|O| log |O|) per-request
+// heap-and-map rebuild. A Plan is immutable after NewPlan: assigners only
+// read it, which is what lets concurrent /task requests share one.
+type Plan struct {
+	// Idx and Res identify the snapshot the plan was computed from;
+	// assigners rebuild the plan when either differs from their Context.
+	Idx *data.Index
+	Res *infer.Result
+	// M is the TDH model behind Res, nil for non-TDH inferencers (EAI
+	// requires it; QASCA/ME/MB run without).
+	M *core.Model
+
+	// Mu[oid] aliases Res.Confidence keyed by dense object ID (nil when the
+	// inferencer published no row); MaxMu and Ent are the per-object max
+	// confidence and Shannon entropy.
+	Mu    [][]float64
+	MaxMu []float64
+	Ent   []float64
+
+	// entOrder ranks object IDs by decreasing entropy (ID-ascending on
+	// ties, which is name-ascending since Idx.Objects is sorted) — ME's
+	// ranking, shared by every worker.
+	entOrder []int32
+
+	// EAI precompute, nil when M is nil. modelOid maps dense IDs of Idx to
+	// dense IDs of M.Idx (-1 when the fitted model lags a freshly rebuilt
+	// index and does not know the object); ueai is the Lemma 4.1 bound
+	// (1-maxμ)/(|O|·(D_o+1)) per object; ueaiOrder lists model-known
+	// objects by decreasing bound — the order Algorithm 1 pops them.
+	modelOid  []int32
+	ueai      []float64
+	ueaiOrder []ueaiPlanEntry
+
+	// eaiDefault[oid] is EAI(w, o) for a worker at the prior-mean ψ — the
+	// score EVERY cold worker shares, since a worker with no answer history
+	// sits exactly at the prior. It turns a cold /task request from |O|
+	// incremental-EM evaluations into |O| array reads; workers with fitted
+	// ψ still evaluate per call. Filled on first use behind a sync.Once
+	// (callers without cold workers never pay for it); the server prewarms
+	// it at publish time so no request bears the fill. defaultPsi tags the
+	// ψ the cache is valid for.
+	eaiDefaultOnce sync.Once
+	eaiDefault     []float64
+	defaultPsi     [3]float64
+}
+
+// defaultScores returns the cold-worker EAI score cache, computing it on
+// first use (goroutine-safe; the plan is shared by concurrent requests).
+// Nil when the plan has no TDH model.
+func (p *Plan) defaultScores() []float64 {
+	if p.M == nil {
+		return nil
+	}
+	p.eaiDefaultOnce.Do(func() {
+		n := len(p.modelOid)
+		nObj := float64(n)
+		scores := make([]float64, n)
+		for oid := 0; oid < n; oid++ {
+			scores[oid] = eaiAt(p.M, int(p.modelOid[oid]), p.defaultPsi, nObj)
+		}
+		p.eaiDefault = scores
+	})
+	return p.eaiDefault
+}
+
+// Prewarm fills the lazy parts of the plan (the cold-worker EAI score
+// cache) so no request pays the first-use cost. The server calls it from
+// the pipeline goroutine right before publishing a snapshot.
+func (p *Plan) Prewarm() { p.defaultScores() }
+
+// ueaiPlanEntry is one slot of the precomputed UEAI scan order.
+type ueaiPlanEntry struct {
+	ub  float64
+	oid int32
+}
+
+// NewPlan precomputes the worker-independent assignment state for one
+// inference result. Cost: O(Σ|Vo|) for the confidence scans plus
+// O(|O| log |O|) for the two rankings — paid once per published snapshot,
+// off the request path.
+func NewPlan(idx *data.Index, res *infer.Result) *Plan {
+	n := idx.NumObjects()
+	p := &Plan{
+		Idx:   idx,
+		Res:   res,
+		Mu:    make([][]float64, n),
+		MaxMu: make([]float64, n),
+		Ent:   make([]float64, n),
+	}
+	for oid, o := range idx.Objects {
+		mu := res.Confidence[o]
+		p.Mu[oid] = mu
+		p.MaxMu[oid] = maxOf(mu)
+		p.Ent[oid] = entropy(mu)
+	}
+	p.entOrder = make([]int32, n)
+	for i := range p.entOrder {
+		p.entOrder[i] = int32(i)
+	}
+	sort.Slice(p.entOrder, func(i, j int) bool {
+		a, b := p.entOrder[i], p.entOrder[j]
+		if p.Ent[a] != p.Ent[b] {
+			return p.Ent[a] > p.Ent[b]
+		}
+		return a < b
+	})
+
+	m, ok := res.Model.(*core.Model)
+	if !ok {
+		return p
+	}
+	p.M = m
+	nObj := float64(n)
+	p.modelOid = make([]int32, n)
+	p.ueai = make([]float64, n)
+	p.ueaiOrder = make([]ueaiPlanEntry, 0, n)
+	sameIdx := m.Idx == idx
+	for oid := 0; oid < n; oid++ {
+		moid := oid
+		if !sameIdx {
+			id, known := m.Idx.ObjectID(idx.Objects[oid])
+			if !known {
+				p.modelOid[oid] = -1
+				continue // unknown to the fitted model; skip until refit
+			}
+			moid = id
+		}
+		p.modelOid[oid] = int32(moid)
+		b := (1 - m.MaxConfidenceAt(moid)) / (nObj * (m.D[moid] + 1))
+		p.ueai[oid] = b
+		p.ueaiOrder = append(p.ueaiOrder, ueaiPlanEntry{b, int32(oid)})
+	}
+	sort.Slice(p.ueaiOrder, func(i, j int) bool {
+		if p.ueaiOrder[i].ub != p.ueaiOrder[j].ub {
+			return p.ueaiOrder[i].ub > p.ueaiOrder[j].ub
+		}
+		return p.ueaiOrder[i].oid < p.ueaiOrder[j].oid
+	})
+	p.defaultPsi = m.DefaultPsi()
+	return p
+}
+
+// plan returns the Context's attached Plan when it matches the Context's
+// snapshot, or builds a fresh one. The fallback keeps the name-keyed
+// Assigner interface unchanged for callers that assign once per fitted
+// model (crowd loop, experiments), where a per-call build costs no more
+// than the heap-and-map setup it replaced.
+func (ctx *Context) plan() *Plan {
+	if ctx.Plan != nil && ctx.Plan.Idx == ctx.Idx && ctx.Plan.Res == ctx.Res {
+		return ctx.Plan
+	}
+	return NewPlan(ctx.Idx, ctx.Res)
+}
+
+// workerIDs resolves each worker's dense ID in idx once (-1 for workers the
+// index has never seen), so answered-set probes inside the scan loops are
+// map-free.
+func workerIDs(idx *data.Index, workers []string) []int {
+	ids := make([]int, len(workers))
+	for i, w := range workers {
+		ids[i] = -1
+		if id, ok := idx.WorkerID(w); ok {
+			ids[i] = id
+		}
+	}
+	return ids
+}

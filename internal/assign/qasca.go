@@ -29,7 +29,9 @@ func qascaWorkerQuality(ctx *Context, w string) float64 {
 //
 // QASCA runs on top of any probabilistic inference result: with a TDH
 // model it uses the full worker answer model; otherwise it falls back to a
-// scalar worker-accuracy answer model built from Result.WorkerTrust.
+// scalar worker-accuracy answer model built from Result.WorkerTrust. The
+// confidence rows and their maxima come from the shared Plan; only the
+// per-worker sampling and ranking happen per call.
 type QASCA struct{}
 
 // Name implements Assigner.
@@ -37,26 +39,29 @@ func (QASCA) Name() string { return "QASCA" }
 
 // Assign implements Assigner.
 func (q QASCA) Assign(ctx *Context) map[string][]string {
+	p := ctx.plan()
 	rng := rand.New(rand.NewSource(ctx.Seed))
 	out := make(map[string][]string, len(ctx.Workers))
+	wids := workerIDs(ctx.Idx, ctx.Workers)
 	// Each worker's assignment is optimized independently, as in the
 	// original system where assignment happens when a worker requests
 	// tasks: two workers may receive the same hot object in one round.
-	for _, w := range ctx.Workers {
+	for widx, w := range ctx.Workers {
 		// QASCA models a worker by a single scalar quality (its SIGMOD'15
 		// worker model), regardless of which inference algorithm produced
 		// the confidences. With TDH underneath the scalar is ψ_{w,1}.
 		t := qascaWorkerQuality(ctx, w)
 		type scored struct {
-			o string
-			s float64
+			oid int32
+			s   float64
 		}
 		var cand []scored
-		for _, o := range ctx.Idx.Objects {
-			if ctx.Idx.HasAnswered(w, o) {
+		var upd []float64
+		for oid := range p.Mu {
+			if ctx.Idx.HasAnsweredAt(wids[widx], oid) {
 				continue
 			}
-			mu := ctx.Res.Confidence[o]
+			mu := p.Mu[oid]
 			if len(mu) == 0 {
 				continue
 			}
@@ -80,7 +85,10 @@ func (q QASCA) Assign(ctx *Context) map[string][]string {
 			// μ|sampled ∝ μ_v · P(sampled | v).
 			best := 0.0
 			z := 0.0
-			upd := make([]float64, len(mu))
+			if cap(upd) < len(mu) {
+				upd = make([]float64, len(mu))
+			}
+			upd = upd[:len(mu)]
 			for v := range mu {
 				upd[v] = mu[v] * lik(sampled, v)
 				z += upd[v]
@@ -92,16 +100,16 @@ func (q QASCA) Assign(ctx *Context) map[string][]string {
 					}
 				}
 			}
-			cand = append(cand, scored{o, best - maxOf(mu)})
+			cand = append(cand, scored{int32(oid), best - p.MaxMu[oid]})
 		}
 		sort.Slice(cand, func(i, j int) bool {
 			if cand[i].s != cand[j].s {
 				return cand[i].s > cand[j].s
 			}
-			return cand[i].o < cand[j].o
+			return cand[i].oid < cand[j].oid
 		})
 		for i := 0; i < len(cand) && len(out[w]) < ctx.K; i++ {
-			out[w] = append(out[w], cand[i].o)
+			out[w] = append(out[w], ctx.Idx.Objects[cand[i].oid])
 		}
 	}
 	return out

@@ -557,6 +557,16 @@ func (idx *Index) HasAnswered(w, o string) bool {
 	if !ok {
 		return false
 	}
-	_, ok = findClaim(idx.Views[oid].WorkerClaims, int32(wid))
+	return idx.HasAnsweredAt(wid, oid)
+}
+
+// HasAnsweredAt is HasAnswered by dense IDs. A negative wid stands for a
+// worker unknown to the index (who therefore answered nothing), so callers
+// can resolve a worker once and probe many objects without map lookups.
+func (idx *Index) HasAnsweredAt(wid, oid int) bool {
+	if wid < 0 || oid < 0 || oid >= len(idx.Views) {
+		return false
+	}
+	_, ok := findClaim(idx.Views[oid].WorkerClaims, int32(wid))
 	return ok
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/assign"
-	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/infer"
 	"repro/internal/synth"
@@ -74,8 +73,6 @@ func Fig13(cfg Config) []*Report {
 			ds := base.Scale(f)
 			idx := data.NewIndex(ds)
 			res := infer.NewTDH().Infer(idx)
-			m := res.Model.(*core.Model)
-			_ = m
 			workers := synth.NewWorkerPool(synth.WorkerPoolConfig{Seed: cfg.Seed, Count: 10, Pi: 0.75})
 			names := make([]string, len(workers))
 			for i, w := range workers {

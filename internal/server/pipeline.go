@@ -83,9 +83,18 @@ type pipeline struct {
 	staleSince time.Time
 }
 
-// publish makes the pipeline's current state visible to readers.
+// publish makes the pipeline's current state visible to readers. The
+// snapshot's assignment plan stays unbuilt here: it materializes once, on
+// the first /task against this snapshot (Snapshot.Plan), so high-rate
+// incremental publishes on the ingest path never pay for plans nobody
+// reads. Full refits — already slow, already off the request path —
+// prewarm it eagerly so the common cold start serves instantly.
 func (p *pipeline) publish() {
-	p.s.current.Store(&Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied})
+	sn := &Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied}
+	p.s.current.Store(sn)
+	if p.sinceRefit == 0 {
+		sn.Plan().Prewarm()
+	}
 }
 
 // fullRefit rebuilds the index from the answer-extended dataset and reruns

@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -210,9 +212,10 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		ctx := &assign.Context{
 			Idx:     snap.Idx,
 			Res:     snap.Res,
+			Plan:    snap.Plan(),
 			Workers: []string{worker},
 			K:       s.cfg.K,
-			Seed:    s.cfg.Seed + snap.Round,
+			Seed:    taskSeed(s.cfg.Seed, snap.Round, worker),
 		}
 		assigned := s.cfg.Assigner.Assign(ctx)[worker]
 		sh.mu.Lock()
@@ -244,6 +247,19 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		tasks = append(tasks, Task{Object: o, Candidates: append([]string(nil), ov.CI.Values...)})
 	}
 	writeJSON(w, map[string]any{"worker": worker, "tasks": tasks})
+}
+
+// taskSeed derives the sampling seed for one /task assignment. The
+// configured seed plus the snapshot round keep a worker's retries within a
+// round deterministic (a reconnecting worker re-derives the same
+// assignment), while the worker-name hash decorrelates sampling across
+// workers: with a round-only seed, QASCA's per-call rand.New drew identical
+// sample sequences for every cold worker in the same round, handing them
+// all the same "randomly" scored tasks.
+func taskSeed(seed, round int64, worker string) int64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, worker)
+	return (seed + round) ^ int64(h.Sum64())
 }
 
 // prunePending drops pending entries the snapshot cannot serve and stores
@@ -350,10 +366,18 @@ func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", object))
 		return
 	}
+	// A partial or custom inferencer may publish no confidence row for an
+	// object, or one shorter than its candidate list (e.g. the candidate set
+	// grew with an out-of-Vo answer since the result was computed). Missing
+	// mass reads as zero instead of panicking the handler.
 	conf := snap.Res.Confidence[object]
-	out := make(map[string]float64, len(conf))
+	out := make(map[string]float64, len(ov.CI.Values))
 	for i, v := range ov.CI.Values {
-		out[v] = conf[i]
+		c := 0.0
+		if i < len(conf) {
+			c = conf[i]
+		}
+		out[v] = c
 	}
 	writeJSON(w, out)
 }

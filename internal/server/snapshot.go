@@ -1,6 +1,9 @@
 package server
 
 import (
+	"sync"
+
+	"repro/internal/assign"
 	"repro/internal/data"
 	"repro/internal/infer"
 )
@@ -13,7 +16,9 @@ import (
 //
 // Nothing reachable from a Snapshot is mutated after publication: the
 // pipeline clones the model before applying incremental updates and builds
-// a fresh Result for every publish.
+// a fresh Result for every publish. The assignment plan is the one
+// exception in mechanism, not in contract: it is materialized at most once
+// per snapshot behind a sync.Once and is immutable from then on.
 type Snapshot struct {
 	// Idx is the candidate-set index the Res was computed against.
 	Idx *data.Index
@@ -27,6 +32,22 @@ type Snapshot struct {
 	// drains; answers recovered into the dataset before startup are part of
 	// the dataset itself, not this counter.
 	Answers int
+
+	planOnce sync.Once
+	plan     *assign.Plan
+}
+
+// Plan returns the snapshot's shared assignment plan — the worker-
+// independent precompute (UEAI bounds in scan order, per-object max-
+// confidence and entropy rankings, cold-worker EAI scores) that every
+// /task request against this snapshot reads instead of rebuilding
+// O(|O| log |O|) state per request. It is built at most once per snapshot,
+// on first use: full refits prewarm it in the pipeline goroutine, while
+// incremental publishes defer it so a pure answer-ingest workload never
+// pays for plans nobody reads.
+func (sn *Snapshot) Plan() *assign.Plan {
+	sn.planOnce.Do(func() { sn.plan = assign.NewPlan(sn.Idx, sn.Res) })
+	return sn.plan
 }
 
 // snap loads the current snapshot; it is never nil after New.
