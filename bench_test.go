@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/assign"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
@@ -374,5 +375,73 @@ func BenchmarkServerThroughput(b *testing.B) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "answers/sec")
 		b.ReportMetric(float64(reads.Load())/secs, "reads/sec")
+	}
+}
+
+// BenchmarkCampaignIngest measures durable multi-campaign answer ingest:
+// four concurrent campaigns hosted by one manager under a shared data
+// directory, every accepted answer fsync'd to its campaign's answer log
+// before the 200 acknowledgment. With per-answer fsync the disk's sync
+// rate caps the whole process; the answer log's group commit batches
+// concurrent appends into one fsync per campaign, so the reported
+// answers/sec is the multi-tenant ingest ceiling.
+func BenchmarkCampaignIngest(b *testing.B) {
+	mgr, err := campaign.Open(b.TempDir(), campaign.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nCampaigns = 4
+	ids := make([]string, nCampaigns)
+	objs := make([][]string, nCampaigns)
+	vals := make([][]string, nCampaigns)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%d", i)
+		ds := synth.Heritages(synth.HeritagesConfig{Seed: int64(7 + i), Scale: 0.1})
+		if _, err := mgr.Create(campaign.Spec{
+			ID:          ids[i],
+			OpenAnswers: true, // benchmark workers answer arbitrary objects
+			Policy:      campaign.PolicySpec{RefitAnswers: 256, RefitStalenessMS: 50},
+		}, ds); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Start(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+		c, _ := mgr.Get(ids[i])
+		snap := c.Server().Snapshot()
+		objs[i] = c.Server().SortedObjects()
+		vals[i] = make([]string, len(objs[i]))
+		for j, o := range objs[i] {
+			vals[i][j] = snap.Idx.View(o).CI.Values[0]
+		}
+	}
+	h := mgr.Handler()
+	var seq atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	// Workers are blocked on the durable ack (fsync), not on a core: model
+	// many concurrent connections even on small GOMAXPROCS.
+	b.SetParallelism(16)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			ci := i % nCampaigns
+			oi := (i / nCampaigns) % len(objs[ci])
+			body := fmt.Sprintf(`{"worker":"bw-%d","object":%q,"value":%q}`,
+				i, objs[ci][oi], vals[ci][oi])
+			req := httptest.NewRequest("POST", "/v1/campaigns/"+ids[ci]+"/answer", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("answer %d: status %d: %s", i, rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "answers/sec")
+	}
+	if err := mgr.Close(); err != nil {
+		b.Fatal(err)
 	}
 }

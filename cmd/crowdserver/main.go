@@ -1,14 +1,24 @@
-// Command crowdserver runs the crowdsourcing coordinator over a dataset:
-// workers fetch tasks and submit answers over HTTP while a background
-// pipeline keeps hierarchical truth inference and EAI task assignment
-// fresh — incremental EM between debounced full refits, reads served
-// lock-free from published snapshots. This is the runnable equivalent of
-// the paper's own crowdsourcing system (Section 5.5).
+// Command crowdserver runs the crowdsourcing coordinator: workers fetch
+// tasks and submit answers over HTTP while a background pipeline keeps
+// hierarchical truth inference and EAI task assignment fresh — incremental
+// EM between debounced full refits, reads served lock-free from published
+// snapshots. This is the runnable equivalent of the paper's own
+// crowdsourcing system (Section 5.5).
+//
+// Multi-campaign mode hosts many concurrent campaigns in one process,
+// managed over the v1 HTTP API and durable under one data directory:
+//
+//	crowdserver -data-dir /var/lib/crowd -addr :8080
+//	curl localhost:8080/v1/campaigns
+//	curl -X POST localhost:8080/v1/campaigns -d '{"id":"cities","state":"live","dataset":{...}}'
+//	curl 'localhost:8080/v1/campaigns/cities/task?worker=alice'
+//
+// Every campaign on disk is recovered at boot (answer logs replayed); on
+// shutdown all campaigns close concurrently. Single-campaign mode (-in) is
+// the compatibility path serving one unnamed campaign at the HTTP root:
 //
 //	crowdserver -in dataset.json -addr :8080 -log answers.jsonl -workers -1
 //	curl 'localhost:8080/task?worker=alice'
-//	curl -X POST localhost:8080/answer -d '{"worker":"alice","object":"...","value":"..."}'
-//	curl localhost:8080/stats
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/answerlog"
+	"repro/internal/campaign"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/infer"
@@ -31,82 +43,60 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input dataset JSON (required)")
+		in        = flag.String("in", "", "input dataset JSON (single-campaign mode)")
+		dataDir   = flag.String("data-dir", "", "campaign data directory (multi-campaign mode, v1 API)")
 		addr      = flag.String("addr", ":8080", "listen address")
-		alg       = flag.String("alg", "TDH", "inference algorithm")
-		asgName   = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB")
-		k         = flag.Int("k", 5, "questions per task request")
-		logPath   = flag.String("log", "", "append-only answer log (enables durable campaigns)")
-		seed      = flag.Int64("seed", 7, "random seed for sampling assigners")
+		alg       = flag.String("alg", "TDH", "inference algorithm (single-campaign mode)")
+		asgName   = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB (single-campaign mode)")
+		k         = flag.Int("k", 5, "questions per task request (single-campaign mode)")
+		logPath   = flag.String("log", "", "append-only answer log (single-campaign mode durability)")
+		seed      = flag.Int64("seed", 7, "random seed for sampling assigners (single-campaign mode)")
 		workers   = flag.Int("workers", -1, "E-step goroutines for full refits (TDH only): -1 = all cores, 0/1 = sequential")
-		refitN    = flag.Int("refit-answers", 0, "full refit after this many answers (0 = default 64, <0 = never)")
-		refitAge  = flag.Duration("refit-staleness", 0, "full refit when unrefitted answers are older than this (0 = default 2s, <0 = never)")
-		batch     = flag.Int("batch", 0, "max answers folded per incremental step (0 = default 64)")
-		queue     = flag.Int("queue", 0, "ingest queue size before /answer applies backpressure (0 = default 1024)")
-		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (open campaign)")
+		refitN    = flag.Int("refit-answers", 0, "full refit after this many answers (0 = default 64, <0 = never) (single-campaign mode; multi-campaign policy is per-campaign)")
+		refitAge  = flag.Duration("refit-staleness", 0, "full refit when unrefitted answers are older than this (0 = default 2s, <0 = never) (single-campaign mode)")
+		batch     = flag.Int("batch", 0, "max answers folded per incremental step (0 = default 64) (single-campaign mode)")
+		queue     = flag.Int("queue", 0, "ingest queue size before /answer applies backpressure (0 = default 1024) (single-campaign mode)")
+		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (single-campaign mode)")
 		drainWait = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
-	if *in == "" {
+	if (*in == "") == (*dataDir == "") {
+		fmt.Fprintln(os.Stderr, "crowdserver: exactly one of -in (single campaign) or -data-dir (multi-campaign) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	ds, err := data.LoadFile(*in)
-	if err != nil {
-		fatal(err)
-	}
-	inferencer, ok := experiments.InferencerByName(*alg)
-	if !ok {
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
-	}
-	// Full refits run off the request path; give TDH the parallel E-step.
-	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
-		tdh.Opt.Workers = *workers
-		inferencer = tdh
-	}
-	assigner, ok := experiments.AssignerByName(*asgName)
-	if !ok {
-		fatal(fmt.Errorf("unknown assigner %q", *asgName))
-	}
-	cfg := server.Config{
-		Dataset:    ds,
-		Inferencer: inferencer,
-		Assigner:   assigner,
-		K:          *k,
-		Seed:       *seed,
-		Policy: server.RefitPolicy{
+
+	var handler http.Handler
+	var closer io.Closer
+	if *dataDir != "" {
+		mgr, err := campaign.Open(*dataDir, campaign.Options{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		n := 0
+		for _, c := range mgr.Campaigns() {
+			rec := c.Recovered()
+			fmt.Printf("campaign %s: %s (%d answers replayed, %d malformed skipped, %d duplicates dropped)\n",
+				c.ID(), c.State(), rec.Answers, rec.Skipped, rec.Duplicates)
+			n++
+		}
+		fmt.Printf("crowdserver: hosting %d campaigns from %s, listening on %s\n", n, *dataDir, *addr)
+		handler, closer = mgr.Handler(), mgr
+	} else {
+		srv, cl, err := singleCampaign(*in, *alg, *asgName, *k, *logPath, *seed, *workers, server.RefitPolicy{
 			MaxAnswers:   *refitN,
 			MaxStaleness: *refitAge,
 			BatchSize:    *batch,
 			QueueSize:    *queue,
-		},
-		OpenAnswers: *open,
-	}
-	if *logPath != "" {
-		// Recover any previously collected answers, then keep appending.
-		res, err := answerlog.Replay(*logPath, ds)
+		}, *open)
 		if err != nil {
 			fatal(err)
 		}
-		if res.Answers > 0 || res.Skipped > 0 || res.Duplicates > 0 {
-			fmt.Printf("recovered %d answers from %s (%d malformed lines skipped, %d duplicates dropped)\n",
-				res.Answers, *logPath, res.Skipped, res.Duplicates)
-		}
-		l, err := answerlog.Open(*logPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer l.Close()
-		cfg.Log = l
+		fmt.Printf("crowdserver: single campaign listening on %s\n", *addr)
+		handler, closer = srv.Handler(), cl
 	}
-	srv, err := server.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("crowdserver: %s+%s over %d objects, listening on %s\n",
-		inferencer.Name(), assigner.Name(), len(ds.Objects()), *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -124,11 +114,82 @@ func main() {
 			fmt.Fprintln(os.Stderr, "crowdserver: shutdown:", err)
 		}
 	}
-	// Flush the ingest queue into a final snapshot before exiting, so the
+	// Flush every ingest queue into a final snapshot before exiting, so the
 	// process never drops an accepted answer from its in-memory state.
-	if err := srv.Close(); err != nil {
+	if err := closer.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "crowdserver: close:", err)
 	}
+}
+
+// closeFunc adapts a function to io.Closer.
+type closeFunc func() error
+
+func (f closeFunc) Close() error { return f() }
+
+// singleCampaign wires the legacy one-campaign-per-process server (the
+// compatibility path: the same flags and root-level endpoints as before
+// multi-campaign hosting). The returned closer drains the server into a
+// final snapshot, then closes the answer log.
+func singleCampaign(in, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool) (*server.Server, io.Closer, error) {
+	ds, err := data.LoadFile(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	inferencer, ok := experiments.InferencerByName(alg)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+	// Full refits run off the request path; give TDH the parallel E-step.
+	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
+		tdh.Opt.Workers = workers
+		inferencer = tdh
+	}
+	assigner, ok := experiments.AssignerByName(asgName)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown assigner %q", asgName)
+	}
+	cfg := server.Config{
+		Dataset:     ds,
+		Inferencer:  inferencer,
+		Assigner:    assigner,
+		K:           k,
+		Seed:        seed,
+		Policy:      policy,
+		OpenAnswers: open,
+	}
+	var l *answerlog.Log
+	if logPath != "" {
+		// Recover any previously collected answers, then keep appending.
+		res, err := answerlog.Replay(logPath, ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Answers > 0 || res.Skipped > 0 || res.Duplicates > 0 {
+			fmt.Printf("recovered %d answers from %s (%d malformed lines skipped, %d duplicates dropped)\n",
+				res.Answers, logPath, res.Skipped, res.Duplicates)
+		}
+		if l, err = answerlog.Open(logPath); err != nil {
+			return nil, nil, err
+		}
+		cfg.Log = l
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		if l != nil {
+			l.Close()
+		}
+		return nil, nil, err
+	}
+	fmt.Printf("crowdserver: %s+%s over %d objects\n", inferencer.Name(), assigner.Name(), len(ds.Objects()))
+	return srv, closeFunc(func() error {
+		err := srv.Close()
+		if l != nil {
+			if cerr := l.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}), nil
 }
 
 func fatal(err error) {

@@ -1,9 +1,16 @@
 // Package answerlog provides a durable append-only log for crowdsourcing
-// answers: one JSON object per line, fsync'd per append. A campaign
-// coordinator (internal/server) writes every accepted answer to the log;
-// after a crash or restart, Replay folds the collected answers back into
-// the dataset so the campaign resumes where it stopped — crowd answers are
-// paid for and must never be lost.
+// answers: one JSON object per line, fsync'd before the append returns. A
+// campaign coordinator (internal/server) writes every accepted answer to
+// the log; after a crash or restart, Replay folds the collected answers
+// back into the dataset so the campaign resumes where it stopped — crowd
+// answers are paid for and must never be lost.
+//
+// Appends are group-committed: a single flusher goroutine gathers every
+// append that arrives while the previous fsync is in flight and commits
+// the whole batch with one write + one fsync, acknowledging each Append
+// only after its batch is on stable storage. Durability per answer is
+// unchanged; the fsync cost is amortized across concurrent appenders, which
+// is what keeps ingest alive once many campaigns share a disk.
 package answerlog
 
 import (
@@ -18,25 +25,46 @@ import (
 	"repro/internal/data"
 )
 
+var errClosed = errors.New("answerlog: closed")
+
 // Log is an append-only JSONL answer log. Append is safe for concurrent
 // use.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
 	path string
-	n    int
+	f    *os.File      // written and synced only by the flusher after Open
+	kick chan struct{} // wakes the flusher; buffered, never closed
+	quit chan struct{} // closed by Close after the last Append is enqueued
+	done chan struct{} // closed when the flusher has drained and exited
+	torn bool          // flusher-owned: a failed write left unterminated bytes
+
+	mu      sync.Mutex
+	closed  bool
+	pending []byte       // marshaled lines awaiting the next group commit
+	waiters []chan error // one ack per pending Append
+	n       int
 }
 
-// Open opens (or creates) the log at path in append mode.
+// Open opens (or creates) the log at path in append mode and starts the
+// flusher.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("answerlog: %w", err)
 	}
-	return &Log{f: f, path: path}, nil
+	l := &Log{
+		path: path,
+		f:    f,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go l.flushLoop()
+	return l, nil
 }
 
-// Append writes one answer and syncs it to stable storage.
+// Append stages one answer for the next group commit and blocks until it
+// is synced to stable storage (or the commit fails). Concurrent Appends
+// that land during the previous fsync share a single write+fsync.
 func (l *Log) Append(a data.Answer) error {
 	if a.Object == "" || a.Worker == "" || a.Value == "" {
 		return errors.New("answerlog: answer with empty field")
@@ -45,46 +73,105 @@ func (l *Log) Append(a data.Answer) error {
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
+	ack := make(chan error, 1)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
-		return errors.New("answerlog: closed")
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
 	}
-	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("answerlog: write: %w", err)
+	l.pending = append(l.pending, buf...)
+	l.pending = append(l.pending, '\n')
+	l.waiters = append(l.waiters, ack)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default: // a wakeup is already queued; the flusher will see this entry
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("answerlog: sync: %w", err)
-	}
-	l.n++
-	return nil
+	return <-ack
 }
 
-// Count returns the number of answers appended through this handle.
+// flushLoop is the single flusher goroutine: each wakeup commits the
+// entire pending batch with one write + one fsync and acknowledges every
+// waiter. On quit it drains whatever Close guaranteed was already staged.
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.kick:
+			l.commit()
+		case <-l.quit:
+			l.commit()
+			return
+		}
+	}
+}
+
+// commit swaps out the staged batch and syncs it to disk, then wakes the
+// waiters with the outcome. File I/O runs outside the stage lock so
+// appenders keep staging the next batch during the fsync.
+func (l *Log) commit() {
+	l.mu.Lock()
+	buf, waiters := l.pending, l.waiters
+	l.pending, l.waiters = nil, nil
+	l.mu.Unlock()
+	if len(waiters) == 0 {
+		return
+	}
+	if l.torn {
+		// A previous batch's failed write left unterminated bytes in the
+		// file. Terminate them so they replay as one skipped malformed line
+		// instead of merging with (and swallowing) this batch's first line.
+		buf = append([]byte{'\n'}, buf...)
+	}
+	var err error
+	if n, werr := l.f.Write(buf); werr != nil {
+		err = fmt.Errorf("answerlog: write: %w", werr)
+		l.torn = n > 0 && buf[n-1] != '\n'
+	} else if serr := l.f.Sync(); serr != nil {
+		err = fmt.Errorf("answerlog: sync: %w", serr)
+		l.torn = false // fully written and newline-terminated, just not synced
+	} else {
+		l.torn = false
+	}
+	if err == nil {
+		l.mu.Lock()
+		l.n += len(waiters)
+		l.mu.Unlock()
+	}
+	for _, ack := range waiters {
+		ack <- err
+	}
+}
+
+// Count returns the number of answers committed through this handle.
 func (l *Log) Count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
 }
 
-// Close closes the underlying file; further Appends fail.
+// Close commits any staged answers, stops the flusher and closes the
+// file; further Appends fail. Appends that were already staged are synced
+// and acknowledged normally.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done // a concurrent Close wins; wait for its drain
 		return nil
 	}
-	err := l.f.Close()
-	l.f = nil
-	return err
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	return l.f.Close()
 }
 
 // ReplayResult reports what a Replay recovered.
 type ReplayResult struct {
-	Answers    int // valid answers recovered
-	Skipped    int // malformed lines skipped (e.g. torn final write)
-	Duplicates int // duplicate (worker, object) answers dropped
+	Answers    int `json:"answers"`    // valid answers recovered
+	Skipped    int `json:"skipped"`    // malformed lines skipped (e.g. torn final write)
+	Duplicates int `json:"duplicates"` // duplicate (worker, object) answers dropped
 }
 
 // Replay reads a log and appends the recovered answers to ds. Malformed
@@ -106,6 +193,11 @@ func Replay(path string, ds *data.Dataset) (ReplayResult, error) {
 	return ReplayFrom(f, ds)
 }
 
+// maxLineBytes bounds how much of a single log line recovery buffers. No
+// valid answer comes close; a longer line is corruption and is skipped
+// like any other malformed line.
+const maxLineBytes = 1 << 20
+
 // ReplayFrom is Replay over any reader (exposed for tests and piping).
 func ReplayFrom(r io.Reader, ds *data.Dataset) (ReplayResult, error) {
 	var res ReplayResult
@@ -114,29 +206,62 @@ func ReplayFrom(r io.Reader, ds *data.Dataset) (ReplayResult, error) {
 	for _, a := range ds.Answers {
 		seen[key{a.Worker, a.Object}] = true
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var a data.Answer
-		if err := json.Unmarshal(line, &a); err != nil || a.Object == "" || a.Worker == "" || a.Value == "" {
+	br := bufio.NewReaderSize(r, 64*1024)
+	scratch := make([]byte, 0, 64*1024)
+	for {
+		line, tooLong, err := scanLine(br, scratch[:0])
+		scratch = line
+		if tooLong {
+			// One over-long (corrupt) line must not strand the rest of the
+			// campaign's answers behind a failed recovery.
 			res.Skipped++
-			continue
+		} else if len(line) > 0 {
+			var a data.Answer
+			if jerr := json.Unmarshal(line, &a); jerr != nil || a.Object == "" || a.Worker == "" || a.Value == "" {
+				res.Skipped++
+			} else if k := (key{a.Worker, a.Object}); seen[k] {
+				res.Duplicates++
+			} else {
+				seen[k] = true
+				ds.Answers = append(ds.Answers, a)
+				res.Answers++
+			}
 		}
-		k := key{a.Worker, a.Object}
-		if seen[k] {
-			res.Duplicates++
-			continue
+		if err == io.EOF {
+			return res, nil
 		}
-		seen[k] = true
-		ds.Answers = append(ds.Answers, a)
-		res.Answers++
+		if err != nil {
+			return res, fmt.Errorf("answerlog: scan: %w", err)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return res, fmt.Errorf("answerlog: scan: %w", err)
+}
+
+// scanLine reads the next line into buf (reused across calls) without the
+// trailing newline. A line longer than maxLineBytes is consumed to its
+// terminator and reported with tooLong=true and an empty buf, so callers
+// can skip-and-count it instead of aborting the whole replay (a plain
+// bufio.Scanner fails the scan with ErrTooLong). The final unterminated
+// line, if any, is returned together with io.EOF.
+func scanLine(br *bufio.Reader, buf []byte) (line []byte, tooLong bool, err error) {
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !tooLong {
+			buf = append(buf, chunk...)
+			if len(buf) > maxLineBytes {
+				tooLong = true
+				buf = buf[:0]
+			}
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue // line spans internal buffers; keep accumulating
+		case nil:
+			if n := len(buf); n > 0 && buf[n-1] == '\n' {
+				buf = buf[:n-1]
+			}
+			return buf, tooLong, nil
+		default:
+			return buf, tooLong, err
+		}
 	}
-	return res, nil
 }

@@ -1,6 +1,7 @@
 package answerlog
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,6 +105,43 @@ func TestReplaySkipsGarbageAndEmptyLines(t *testing.T) {
 	}
 }
 
+func TestReplaySkipsOverlongLines(t *testing.T) {
+	// A corrupt line longer than the 1 MiB line cap used to abort the whole
+	// recovery with bufio.ErrTooLong, stranding every answer in the log; it
+	// must be skipped and counted like any other malformed line.
+	var sb strings.Builder
+	sb.WriteString(`{"object":"o1","worker":"w1","value":"v1"}` + "\n")
+	sb.WriteString(`{"object":"huge","worker":"w9","value":"`)
+	sb.WriteString(strings.Repeat("x", 2<<20))
+	sb.WriteString("\"}\n")
+	sb.WriteString(`{"object":"o2","worker":"w2","value":"v2"}` + "\n")
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := ReplayFrom(strings.NewReader(sb.String()), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 2 || res.Skipped != 1 || res.Duplicates != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	if len(ds.Answers) != 2 || ds.Answers[0].Object != "o1" || ds.Answers[1].Object != "o2" {
+		t.Fatalf("dataset answers = %+v", ds.Answers)
+	}
+}
+
+func TestReplaySkipsOverlongFinalLineWithoutNewline(t *testing.T) {
+	// Torn over-long tail: over the cap AND unterminated.
+	raw := `{"object":"o1","worker":"w1","value":"v1"}` + "\n" +
+		`{"object":"t","worker":"w","value":"` + strings.Repeat("y", 2<<20)
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := ReplayFrom(strings.NewReader(raw), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 1 || res.Skipped != 1 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
 func TestConcurrentAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.jsonl")
 	l, err := Open(path)
@@ -130,6 +168,47 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 	if res.Answers != 1 || res.Duplicates != 19 {
 		t.Fatalf("identical (worker, object) answers must dedupe: %+v", res)
+	}
+}
+
+func TestGroupCommitAllDurableAndWellFormed(t *testing.T) {
+	// Many concurrent appenders share group commits; every acknowledged
+	// answer must be on disk as its own well-formed line once Append
+	// returns, and Count must reflect exactly the committed batch sizes.
+	path := filepath.Join(t.TempDir(), "g.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Append(data.Answer{Object: fmt.Sprintf("o%02d", i), Worker: fmt.Sprintf("w%02d", i), Value: "v"})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if l.Count() != n {
+		t.Fatalf("count = %d, want %d", l.Count(), n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := Replay(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != n || res.Skipped != 0 || res.Duplicates != 0 {
+		t.Fatalf("replay = %+v, want %d clean answers", res, n)
 	}
 }
 

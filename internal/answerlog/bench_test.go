@@ -1,0 +1,34 @@
+package answerlog
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// BenchmarkAppendParallel measures concurrent durable appends to one log —
+// the per-campaign ingest bottleneck. Group commit batches every append
+// that arrives during the previous fsync into the next one, so throughput
+// scales with concurrency instead of being capped at one answer per fsync.
+func BenchmarkAppendParallel(b *testing.B) {
+	l, err := Open(filepath.Join(b.TempDir(), "bench.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	var seq atomic.Int64
+	// Appenders are blocked on fsync, not on a core: model many concurrent
+	// worker connections even on small GOMAXPROCS.
+	b.SetParallelism(16)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			if err := l.Append(data.Answer{Object: fmt.Sprintf("o%d", i), Worker: "w", Value: "v"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

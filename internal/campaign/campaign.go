@@ -1,0 +1,269 @@
+// Package campaign hosts many concurrent truth-discovery campaigns in one
+// process. A Campaign is a first-class managed entity — a named instance of
+// the crowdsourcing coordinator (internal/server) with its own dataset,
+// durable answer log and per-campaign configuration — owned by a Manager
+// that keeps a registry of every campaign under one data directory,
+// recovers them all at boot, and exposes the admin + data-plane HTTP API
+// under /v1/campaigns (http.go).
+//
+// Lifecycle. Every campaign moves through a state machine that is enforced
+// at the HTTP layer:
+//
+//	draft ──start──▶ live ◀──resume── paused
+//	                  │  ──pause────▶
+//	                  │        │
+//	                  └─close──┴────▶ closed (terminal)
+//
+// A draft campaign exists on disk (dataset uploaded, config fixed) but
+// serves nothing. A live campaign serves everything. Paused and closed
+// campaigns keep serving reads (/truths, /confidence, /trust, /stats) but
+// reject task hand-out and answer ingestion with 409, so a campaign can be
+// halted for inspection — or ended — without taking its results offline.
+//
+// On-disk layout (one directory per campaign under <data-dir>/campaigns):
+//
+//	<data-dir>/campaigns/<id>/campaign.json  metadata, config and state
+//	<data-dir>/campaigns/<id>/dataset.json   seed dataset + value hierarchy
+//	<data-dir>/campaigns/<id>/answers.jsonl  append-only answer log
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/answerlog"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/infer"
+	"repro/internal/server"
+)
+
+// State is a campaign's lifecycle state.
+type State string
+
+const (
+	StateDraft  State = "draft"
+	StateLive   State = "live"
+	StatePaused State = "paused"
+	StateClosed State = "closed"
+)
+
+func (s State) valid() bool {
+	switch s {
+	case StateDraft, StateLive, StatePaused, StateClosed:
+		return true
+	}
+	return false
+}
+
+// PolicySpec is the JSON-friendly shape of server.RefitPolicy (durations as
+// milliseconds), persisted per campaign. Zero values take the server
+// defaults; negative values disable, mirroring RefitPolicy.
+type PolicySpec struct {
+	RefitAnswers     int   `json:"refit_answers,omitempty"`
+	RefitStalenessMS int64 `json:"refit_staleness_ms,omitempty"`
+	BatchSize        int   `json:"batch_size,omitempty"`
+	QueueSize        int   `json:"queue_size,omitempty"`
+}
+
+func (p PolicySpec) refitPolicy() server.RefitPolicy {
+	return server.RefitPolicy{
+		MaxAnswers:   p.RefitAnswers,
+		MaxStaleness: time.Duration(p.RefitStalenessMS) * time.Millisecond,
+		BatchSize:    p.BatchSize,
+		QueueSize:    p.QueueSize,
+	}
+}
+
+// Meta is the persisted identity, configuration and lifecycle state of a
+// campaign (campaign.json).
+type Meta struct {
+	ID          string     `json:"id"`
+	Name        string     `json:"name,omitempty"`
+	State       State      `json:"state"`
+	Inferencer  string     `json:"inferencer"`
+	Assigner    string     `json:"assigner"`
+	K           int        `json:"k"`
+	Seed        int64      `json:"seed"`
+	OpenAnswers bool       `json:"open_answers,omitempty"`
+	Policy      PolicySpec `json:"policy,omitempty"`
+	CreatedAt   time.Time  `json:"created_at"`
+	UpdatedAt   time.Time  `json:"updated_at"`
+}
+
+// Campaign is one hosted campaign: persisted Meta plus, once started, the
+// live coordinator and its answer log. All mutable fields are guarded by
+// mu; the Manager holds no lock while a campaign boots or shuts down, so
+// slow campaigns never block the registry.
+type Campaign struct {
+	dir string
+
+	mu        sync.Mutex
+	meta      Meta
+	srv       *server.Server // nil while draft
+	log       *answerlog.Log // nil while draft or closed
+	handler   http.Handler   // srv.Handler(), nil while draft
+	recovered answerlog.ReplayResult
+}
+
+// ID returns the campaign's immutable identifier.
+func (c *Campaign) ID() string { return c.meta.ID }
+
+// State returns the current lifecycle state.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta.State
+}
+
+// Meta returns a copy of the persisted metadata.
+func (c *Campaign) Meta() Meta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta
+}
+
+// Recovered reports what the boot-time log replay recovered for this
+// campaign (zero for campaigns started fresh in this process).
+func (c *Campaign) Recovered() answerlog.ReplayResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovered
+}
+
+// Server exposes the underlying coordinator, or nil for a draft campaign.
+// Callers must treat it as read-only with respect to lifecycle: Close is
+// the Manager's job.
+func (c *Campaign) Server() *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srv
+}
+
+// serveInfo returns what the HTTP gate needs in one critical section: the
+// lifecycle state and the data-plane handler (nil while draft).
+func (c *Campaign) serveInfo() (State, http.Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meta.State, c.handler
+}
+
+// boot loads the campaign's dataset, replays its answer log into it, and
+// starts the coordinator. With openLog, the log is opened for appending
+// and wired as the server's durable sink (live/paused campaigns); closed
+// campaigns boot without a log, serving reads off the recovered state.
+// Callers hold c.mu.
+func (c *Campaign) boot(opts Options, openLog bool) error {
+	ds, err := data.LoadFile(filepath.Join(c.dir, datasetFile))
+	if err != nil {
+		return fmt.Errorf("campaign %s: dataset: %w", c.meta.ID, err)
+	}
+	logPath := filepath.Join(c.dir, logFile)
+	rec, err := answerlog.Replay(logPath, ds)
+	if err != nil {
+		return fmt.Errorf("campaign %s: replay: %w", c.meta.ID, err)
+	}
+	inferencer, ok := experiments.InferencerByName(c.meta.Inferencer)
+	if !ok {
+		return fmt.Errorf("campaign %s: unknown inferencer %q", c.meta.ID, c.meta.Inferencer)
+	}
+	// Full refits run off the request path; give TDH the configured E-step
+	// parallelism.
+	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
+		tdh.Opt.Workers = opts.Workers
+		inferencer = tdh
+	}
+	assigner, ok := experiments.AssignerByName(c.meta.Assigner)
+	if !ok {
+		return fmt.Errorf("campaign %s: unknown assigner %q", c.meta.ID, c.meta.Assigner)
+	}
+	cfg := server.Config{
+		Dataset:     ds,
+		Inferencer:  inferencer,
+		Assigner:    assigner,
+		K:           c.meta.K,
+		Seed:        c.meta.Seed,
+		Policy:      c.meta.Policy.refitPolicy(),
+		OpenAnswers: c.meta.OpenAnswers,
+	}
+	var l *answerlog.Log
+	if openLog {
+		if l, err = answerlog.Open(logPath); err != nil {
+			return fmt.Errorf("campaign %s: %w", c.meta.ID, err)
+		}
+		cfg.Log = l
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		if l != nil {
+			l.Close()
+		}
+		return fmt.Errorf("campaign %s: %w", c.meta.ID, err)
+	}
+	c.srv, c.log, c.handler, c.recovered = srv, l, srv.Handler(), rec
+	return nil
+}
+
+// shutdown releases the campaign's process resources (coordinator pipeline
+// and log file handle) without touching its persisted state, so a restart
+// resumes the campaign where it stopped. Used by Manager.Close.
+func (c *Campaign) shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srv != nil {
+		_ = c.srv.Close()
+	}
+	if c.log != nil {
+		_ = c.log.Close()
+		c.log = nil
+	}
+}
+
+// persistMeta writes campaign.json atomically (temp file + rename, fsync'd
+// before the rename) so a crash mid-transition leaves either the old or
+// the new state, never a torn file. Callers hold c.mu.
+func (c *Campaign) persistMeta() error {
+	c.meta.UpdatedAt = time.Now().UTC()
+	buf, err := json.MarshalIndent(&c.meta, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(c.dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, metaFile))
+}
+
+func readMeta(dir string) (Meta, error) {
+	var meta Meta
+	buf, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return meta, fmt.Errorf("campaign: %s: %w", metaFile, err)
+	}
+	if !meta.State.valid() {
+		return meta, fmt.Errorf("campaign: %s: invalid state %q", metaFile, meta.State)
+	}
+	return meta, nil
+}

@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func doReq(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, path, nil)
+	} else {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	return rec
+}
+
+func createBody(t *testing.T, spec Spec, state State, ds *data.Dataset) string {
+	t.Helper()
+	var wire bytes.Buffer
+	if err := data.Write(&wire, ds); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(&CreateRequest{Spec: spec, State: state, Dataset: wire.Bytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestHTTPLifecycleGate is the satellite HTTP test: paused and closed
+// campaigns reject /task and /answer with 409 while the read endpoints
+// keep serving; drafts serve nothing.
+func TestHTTPLifecycleGate(t *testing.T) {
+	m := mustOpen(t, t.TempDir())
+	defer m.Close()
+	h := m.Handler()
+
+	rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "gate", OpenAnswers: true}, "", testDataset("gate", 6)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	reads := []string{"/truths", "/confidence?object=gate-o00", "/trust", "/stats"}
+	checkGate := func(wantMutating, wantReads int, phase string) {
+		t.Helper()
+		if rec := doReq(t, h, "GET", "/v1/campaigns/gate/task?worker=w", ""); rec.Code != wantMutating {
+			t.Fatalf("%s: GET /task = %d, want %d: %s", phase, rec.Code, wantMutating, rec.Body.String())
+		}
+		if rec := doReq(t, h, "POST", "/v1/campaigns/gate/answer",
+			`{"worker":"wx","object":"gate-o05","value":"NY"}`); rec.Code != wantMutating {
+			t.Fatalf("%s: POST /answer = %d, want %d: %s", phase, rec.Code, wantMutating, rec.Body.String())
+		}
+		for _, p := range reads {
+			if rec := doReq(t, h, "GET", "/v1/campaigns/gate"+p, ""); rec.Code != wantReads {
+				t.Fatalf("%s: GET %s = %d, want %d: %s", phase, p, rec.Code, wantReads, rec.Body.String())
+			}
+		}
+	}
+
+	// Draft: everything gated.
+	checkGate(409, 409, "draft")
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/start", ""); rec.Code != 200 {
+		t.Fatalf("start: %d: %s", rec.Code, rec.Body.String())
+	}
+	checkGate(200, 200, "live")
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/pause", ""); rec.Code != 200 {
+		t.Fatalf("pause: %d: %s", rec.Code, rec.Body.String())
+	}
+	checkGate(409, 200, "paused")
+	// Refresh is mutating too.
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/refresh", ""); rec.Code != 409 {
+		t.Fatalf("paused refresh: %d, want 409", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/resume", ""); rec.Code != 200 {
+		t.Fatalf("resume: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Answer one object live so the closed campaign serves non-seed state.
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/answer",
+		`{"worker":"w1","object":"gate-o00","value":"NY"}`); rec.Code != 200 {
+		t.Fatalf("live answer: %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns/gate/close", ""); rec.Code != 200 {
+		t.Fatalf("close: %d: %s", rec.Code, rec.Body.String())
+	}
+	checkGate(409, 200, "closed")
+	// Closed is terminal: lifecycle ops conflict.
+	for _, op := range []string{"start", "pause", "resume", "close"} {
+		if rec := doReq(t, h, "POST", "/v1/campaigns/gate/"+op, ""); rec.Code != 409 {
+			t.Fatalf("closed %s: %d, want 409", op, rec.Code)
+		}
+	}
+	// The closed campaign's stats still include both accepted answers (one
+	// from the live-phase gate check, one explicit).
+	var st struct {
+		Answers int `json:"answers"`
+	}
+	rec = doReq(t, h, "GET", "/v1/campaigns/gate/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.Answers != 2 {
+		t.Fatalf("closed stats = %s (err %v), want 2 answers", rec.Body.String(), err)
+	}
+}
+
+func TestHTTPCreateAndList(t *testing.T) {
+	m := mustOpen(t, t.TempDir())
+	defer m.Close()
+	h := m.Handler()
+
+	if rec := doReq(t, h, "GET", "/v1/campaigns", ""); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), `"campaigns": []`) {
+		t.Fatalf("empty list: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Create one live, one draft.
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "a1", Name: "first"}, StateLive, testDataset("a1", 3))); rec.Code != 201 {
+		t.Fatalf("create a1: %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "b2"}, "", testDataset("b2", 3))); rec.Code != 201 {
+		t.Fatalf("create b2: %d: %s", rec.Code, rec.Body.String())
+	}
+	var list struct {
+		Campaigns []struct {
+			ID    string                 `json:"id"`
+			State State                  `json:"state"`
+			Stats *struct{ Objects int } `json:"stats"`
+		} `json:"campaigns"`
+	}
+	rec := doReq(t, h, "GET", "/v1/campaigns", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 2 || list.Campaigns[0].ID != "a1" || list.Campaigns[1].ID != "b2" {
+		t.Fatalf("list = %s", rec.Body.String())
+	}
+	if list.Campaigns[0].State != StateLive || list.Campaigns[0].Stats == nil || list.Campaigns[0].Stats.Objects != 3 {
+		t.Fatalf("a1 = %+v", list.Campaigns[0])
+	}
+	if list.Campaigns[1].State != StateDraft || list.Campaigns[1].Stats != nil {
+		t.Fatalf("b2 = %+v", list.Campaigns[1])
+	}
+	// Detail + errors.
+	if rec := doReq(t, h, "GET", "/v1/campaigns/a1", ""); rec.Code != 200 ||
+		!strings.Contains(rec.Body.String(), `"name": "first"`) {
+		t.Fatalf("detail: %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := doReq(t, h, "GET", "/v1/campaigns/nope", ""); rec.Code != 404 {
+		t.Fatalf("unknown detail: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "GET", "/v1/campaigns/nope/truths", ""); rec.Code != 404 {
+		t.Fatalf("unknown proxy: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns/nope/start", ""); rec.Code != 404 {
+		t.Fatalf("unknown lifecycle: %d", rec.Code)
+	}
+	// Duplicate id and invalid payloads.
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "a1"}, "", testDataset("a1", 3))); rec.Code != 409 {
+		t.Fatalf("duplicate create: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns", `{"id":"c3"}`); rec.Code != 400 {
+		t.Fatalf("missing dataset: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns", `not json`); rec.Code != 400 {
+		t.Fatalf("bad json: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "c3"}, StateClosed, testDataset("c3", 3))); rec.Code != 400 {
+		t.Fatalf("bad initial state: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "c3", Inferencer: "NOPE"}, "", testDataset("c3", 3))); rec.Code != 400 {
+		t.Fatalf("unknown inferencer: %d", rec.Code)
+	}
+}

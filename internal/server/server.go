@@ -412,6 +412,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.stats())
 }
 
+// Stats returns the campaign status payload (programmatic twin of GET
+// /stats, used by the multi-campaign manager's listing endpoints).
+func (s *Server) Stats() Stats { return s.stats() }
+
 // stats builds the Stats payload from one snapshot load, so round and
 // answer counts are mutually consistent even during a refit.
 func (s *Server) stats() Stats {
