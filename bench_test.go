@@ -14,6 +14,7 @@ package repro_bench
 import (
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/server"
@@ -375,6 +377,94 @@ func BenchmarkServerThroughput(b *testing.B) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "answers/sec")
 		b.ReportMetric(float64(reads.Load())/secs, "reads/sec")
+	}
+}
+
+// BenchmarkLiveGrowth measures open-world ingest: durable answer
+// throughput while the campaign's dataset keeps growing. The "closed"
+// variant is the baseline (answers only); the "growing" variant interleaves
+// one POST /objects + POST /records pair every 32 answers, so each sample
+// pays for the event-log commit AND the pipeline folding mutations into
+// fresh snapshots via Index.Extend + Model.Grow. The delta between the two
+// is the price of living in an open world.
+func BenchmarkLiveGrowth(b *testing.B) {
+	for _, grow := range []struct {
+		name  string
+		every int // one object+record pair per this many operations; 0 = never
+	}{{"closed", 0}, {"growing", 32}} {
+		b.Run(grow.name, func(b *testing.B) {
+			log, err := eventlog.Open(filepath.Join(b.TempDir(), "events.jsonl"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			ds := synth.Heritages(synth.HeritagesConfig{Seed: 7, Scale: 0.1})
+			srv, err := server.New(server.Config{
+				Dataset:     ds,
+				Inferencer:  infer.NewTDH(),
+				Assigner:    assign.EAI{},
+				OpenAnswers: true,
+				Log:         log,
+				Mutations:   log,
+				Policy:      server.RefitPolicy{MaxAnswers: 256, MaxStaleness: 50 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			h := srv.Handler()
+			snap := srv.Snapshot()
+			objs := srv.SortedObjects()
+			vals := make([]string, len(objs))
+			for i, o := range objs {
+				vals[i] = snap.Idx.View(o).CI.Values[0]
+			}
+			hnodes := ds.H.Nodes()
+
+			var seq, added atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.SetParallelism(16)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					if grow.every > 0 && i%grow.every == 0 {
+						o := fmt.Sprintf("grown-%d", i)
+						body := fmt.Sprintf(`{"object":%q,"candidates":[%q,%q]}`,
+							o, hnodes[i%len(hnodes)], hnodes[(i+1)%len(hnodes)])
+						req := httptest.NewRequest("POST", "/objects", strings.NewReader(body))
+						rec := httptest.NewRecorder()
+						h.ServeHTTP(rec, req)
+						if rec.Code != 200 {
+							b.Fatalf("add object %d: %d: %s", i, rec.Code, rec.Body.String())
+						}
+						body = fmt.Sprintf(`{"object":%q,"source":"stream-src","value":%q}`,
+							o, hnodes[i%len(hnodes)])
+						req = httptest.NewRequest("POST", "/records", strings.NewReader(body))
+						rec = httptest.NewRecorder()
+						h.ServeHTTP(rec, req)
+						if rec.Code != 200 {
+							b.Fatalf("add record %d: %d: %s", i, rec.Code, rec.Body.String())
+						}
+						added.Add(1)
+						continue
+					}
+					oi := i % len(objs)
+					body := fmt.Sprintf(`{"worker":"bw-%d","object":%q,"value":%q}`, i, objs[oi], vals[oi])
+					req := httptest.NewRequest("POST", "/answer", strings.NewReader(body))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("answer %d: %d: %s", i, rec.Code, rec.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "ops/sec")
+				b.ReportMetric(float64(added.Load())/secs, "objects/sec")
+			}
+		})
 	}
 }
 

@@ -33,9 +33,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/answerlog"
 	"repro/internal/campaign"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/server"
@@ -49,7 +49,7 @@ func main() {
 		alg       = flag.String("alg", "TDH", "inference algorithm (single-campaign mode)")
 		asgName   = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB (single-campaign mode)")
 		k         = flag.Int("k", 5, "questions per task request (single-campaign mode)")
-		logPath   = flag.String("log", "", "append-only answer log (single-campaign mode durability)")
+		logPath   = flag.String("log", "", "append-only event log: answers + open-world mutations (single-campaign mode durability)")
 		seed      = flag.Int64("seed", 7, "random seed for sampling assigners (single-campaign mode)")
 		workers   = flag.Int("workers", -1, "E-step goroutines for full refits (TDH only): -1 = all cores, 0/1 = sequential")
 		refitN    = flag.Int("refit-answers", 0, "full refit after this many answers (0 = default 64, <0 = never) (single-campaign mode; multi-campaign policy is per-campaign)")
@@ -76,8 +76,8 @@ func main() {
 		n := 0
 		for _, c := range mgr.Campaigns() {
 			rec := c.Recovered()
-			fmt.Printf("campaign %s: %s (%d answers replayed, %d malformed skipped, %d duplicates dropped)\n",
-				c.ID(), c.State(), rec.Answers, rec.Skipped, rec.Duplicates)
+			fmt.Printf("campaign %s: %s (%d answers, %d objects, %d records replayed; %d malformed skipped, %d duplicates dropped)\n",
+				c.ID(), c.State(), rec.Answers, rec.Objects, rec.Records, rec.Skipped, rec.Duplicates)
 			n++
 		}
 		fmt.Printf("crowdserver: hosting %d campaigns from %s, listening on %s\n", n, *dataDir, *addr)
@@ -129,7 +129,7 @@ func (f closeFunc) Close() error { return f() }
 // singleCampaign wires the legacy one-campaign-per-process server (the
 // compatibility path: the same flags and root-level endpoints as before
 // multi-campaign hosting). The returned closer drains the server into a
-// final snapshot, then closes the answer log.
+// final snapshot, then closes the event log.
 func singleCampaign(in, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool) (*server.Server, io.Closer, error) {
 	ds, err := data.LoadFile(in)
 	if err != nil {
@@ -157,21 +157,23 @@ func singleCampaign(in, alg, asgName string, k int, logPath string, seed int64, 
 		Policy:      policy,
 		OpenAnswers: open,
 	}
-	var l *answerlog.Log
+	var l *eventlog.Log
 	if logPath != "" {
-		// Recover any previously collected answers, then keep appending.
-		res, err := answerlog.Replay(logPath, ds)
+		// Recover previously collected answers and dataset mutations (legacy
+		// answers-only logs replay unchanged), then keep appending.
+		res, err := eventlog.Replay(logPath, ds)
 		if err != nil {
 			return nil, nil, err
 		}
-		if res.Answers > 0 || res.Skipped > 0 || res.Duplicates > 0 {
-			fmt.Printf("recovered %d answers from %s (%d malformed lines skipped, %d duplicates dropped)\n",
-				res.Answers, logPath, res.Skipped, res.Duplicates)
+		if res != (eventlog.ReplayResult{}) {
+			fmt.Printf("recovered %d answers, %d objects, %d records from %s (%d malformed lines skipped, %d duplicates dropped)\n",
+				res.Answers, res.Objects, res.Records, logPath, res.Skipped, res.Duplicates)
 		}
-		if l, err = answerlog.Open(logPath); err != nil {
+		if l, err = eventlog.Open(logPath); err != nil {
 			return nil, nil, err
 		}
 		cfg.Log = l
+		cfg.Mutations = l
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

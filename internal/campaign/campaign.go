@@ -1,10 +1,17 @@
 // Package campaign hosts many concurrent truth-discovery campaigns in one
 // process. A Campaign is a first-class managed entity — a named instance of
 // the crowdsourcing coordinator (internal/server) with its own dataset,
-// durable answer log and per-campaign configuration — owned by a Manager
+// durable event log and per-campaign configuration — owned by a Manager
 // that keeps a registry of every campaign under one data directory,
 // recovers them all at boot, and exposes the admin + data-plane HTTP API
 // under /v1/campaigns (http.go).
+//
+// Campaigns are open-world: beyond answers, the per-campaign event log
+// (internal/eventlog) records typed add_object / add_record mutations, so a
+// live campaign's dataset keeps growing while workers answer and the whole
+// history — answers and growth interleaved — replays at boot. Logs written
+// by the older answers-only format upgrade in place: bare answer lines and
+// typed events coexist in one file.
 //
 // Lifecycle. Every campaign moves through a state machine that is enforced
 // at the HTTP layer:
@@ -24,7 +31,10 @@
 //
 //	<data-dir>/campaigns/<id>/campaign.json  metadata, config and state
 //	<data-dir>/campaigns/<id>/dataset.json   seed dataset + value hierarchy
-//	<data-dir>/campaigns/<id>/answers.jsonl  append-only answer log
+//	<data-dir>/campaigns/<id>/answers.jsonl  append-only event log (answers
+//	                                         + dataset mutations; the name
+//	                                         is kept for compatibility with
+//	                                         answers-only campaigns)
 package campaign
 
 import (
@@ -36,8 +46,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/answerlog"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/server"
@@ -106,9 +116,9 @@ type Campaign struct {
 	mu        sync.Mutex
 	meta      Meta
 	srv       *server.Server // nil while draft
-	log       *answerlog.Log // nil while draft or closed
+	log       *eventlog.Log  // nil while draft or closed
 	handler   http.Handler   // srv.Handler(), nil while draft
-	recovered answerlog.ReplayResult
+	recovered eventlog.ReplayResult
 }
 
 // ID returns the campaign's immutable identifier.
@@ -130,7 +140,7 @@ func (c *Campaign) Meta() Meta {
 
 // Recovered reports what the boot-time log replay recovered for this
 // campaign (zero for campaigns started fresh in this process).
-func (c *Campaign) Recovered() answerlog.ReplayResult {
+func (c *Campaign) Recovered() eventlog.ReplayResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.recovered
@@ -153,18 +163,19 @@ func (c *Campaign) serveInfo() (State, http.Handler) {
 	return c.meta.State, c.handler
 }
 
-// boot loads the campaign's dataset, replays its answer log into it, and
-// starts the coordinator. With openLog, the log is opened for appending
-// and wired as the server's durable sink (live/paused campaigns); closed
-// campaigns boot without a log, serving reads off the recovered state.
-// Callers hold c.mu.
+// boot loads the campaign's dataset, replays its event log into it —
+// answers, object adds and record adds interleaved in acknowledgment order
+// — and starts the coordinator. With openLog, the log is opened for
+// appending and wired as the server's durable answer AND mutation sink
+// (live/paused campaigns); closed campaigns boot without a log, serving
+// reads off the recovered state. Callers hold c.mu.
 func (c *Campaign) boot(opts Options, openLog bool) error {
 	ds, err := data.LoadFile(filepath.Join(c.dir, datasetFile))
 	if err != nil {
 		return fmt.Errorf("campaign %s: dataset: %w", c.meta.ID, err)
 	}
 	logPath := filepath.Join(c.dir, logFile)
-	rec, err := answerlog.Replay(logPath, ds)
+	rec, err := eventlog.Replay(logPath, ds)
 	if err != nil {
 		return fmt.Errorf("campaign %s: replay: %w", c.meta.ID, err)
 	}
@@ -191,12 +202,13 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 		Policy:      c.meta.Policy.refitPolicy(),
 		OpenAnswers: c.meta.OpenAnswers,
 	}
-	var l *answerlog.Log
+	var l *eventlog.Log
 	if openLog {
-		if l, err = answerlog.Open(logPath); err != nil {
+		if l, err = eventlog.Open(logPath); err != nil {
 			return fmt.Errorf("campaign %s: %w", c.meta.ID, err)
 		}
 		cfg.Log = l
+		cfg.Mutations = l
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

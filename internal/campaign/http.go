@@ -7,16 +7,17 @@ import (
 	"fmt"
 	"net/http"
 
-	"repro/internal/answerlog"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/server"
 )
 
 // The v1 multi-campaign API. Admin plane:
 //
-//	GET    /v1/campaigns               list campaigns (id, state, stats)
+//	GET    /v1/campaigns               list campaigns, sorted by id (?state= filters)
 //	POST   /v1/campaigns               create a campaign (spec + dataset)
 //	GET    /v1/campaigns/{id}          one campaign's detail
+//	DELETE /v1/campaigns/{id}          delete a closed or draft campaign (409 otherwise)
 //	POST   /v1/campaigns/{id}/start    draft  -> live
 //	POST   /v1/campaigns/{id}/pause    live   -> paused
 //	POST   /v1/campaigns/{id}/resume   paused -> live
@@ -26,16 +27,43 @@ import (
 //
 //	GET  /v1/campaigns/{id}/task?worker=W
 //	POST /v1/campaigns/{id}/answer
+//	POST /v1/campaigns/{id}/objects | records   (open-world growth)
 //	GET  /v1/campaigns/{id}/truths | confidence | trust | stats
 //	POST /v1/campaigns/{id}/refresh
 //
 // Lifecycle is enforced here: draft campaigns serve nothing (409); paused
-// and closed campaigns reject task hand-out, answer ingestion and refresh
-// with 409 while reads keep serving.
+// and closed campaigns reject task hand-out, answer/mutation ingestion and
+// refresh with 409 while reads keep serving. A request with a known path
+// but wrong method gets 405 with an Allow header on every route: the Go
+// ServeMux handles the method-scoped patterns, and endpointMethods covers
+// the catch-all proxy.
 
 // mutatingEndpoint names the per-campaign endpoints that advance campaign
 // state and are therefore gated to live campaigns only.
-var mutatingEndpoint = map[string]bool{"task": true, "answer": true, "refresh": true}
+var mutatingEndpoint = map[string]bool{
+	"task": true, "answer": true, "refresh": true, "objects": true, "records": true,
+}
+
+// endpointMethods maps every known per-campaign endpoint to its one allowed
+// method, so the catch-all proxy route can answer wrong-method requests
+// with 405 + Allow instead of a misleading 404/409. The lifecycle verbs
+// appear here too: their POST patterns are registered on the mux, so only
+// their wrong-method requests fall through to the catch-all.
+var endpointMethods = map[string]string{
+	"task":       http.MethodGet,
+	"answer":     http.MethodPost,
+	"objects":    http.MethodPost,
+	"records":    http.MethodPost,
+	"truths":     http.MethodGet,
+	"confidence": http.MethodGet,
+	"trust":      http.MethodGet,
+	"stats":      http.MethodGet,
+	"refresh":    http.MethodPost,
+	"start":      http.MethodPost,
+	"pause":      http.MethodPost,
+	"resume":     http.MethodPost,
+	"close":      http.MethodPost,
+}
 
 // Handler returns the /v1 API handler.
 func (m *Manager) Handler() http.Handler {
@@ -43,6 +71,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns", m.handleList)
 	mux.HandleFunc("POST /v1/campaigns", m.handleCreate)
 	mux.HandleFunc("GET /v1/campaigns/{id}", m.handleGet)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", m.handleDelete)
 	mux.HandleFunc("POST /v1/campaigns/{id}/start", m.lifecycle(m.Start))
 	mux.HandleFunc("POST /v1/campaigns/{id}/pause", m.lifecycle(m.Pause))
 	mux.HandleFunc("POST /v1/campaigns/{id}/resume", m.lifecycle(m.Resume))
@@ -55,8 +84,8 @@ func (m *Manager) Handler() http.Handler {
 // campaigns, live stats and what boot-time recovery replayed.
 type Info struct {
 	Meta
-	Stats     *server.Stats           `json:"stats,omitempty"`
-	Recovered *answerlog.ReplayResult `json:"recovered,omitempty"`
+	Stats     *server.Stats          `json:"stats,omitempty"`
+	Recovered *eventlog.ReplayResult `json:"recovered,omitempty"`
 }
 
 func campaignInfo(c *Campaign) Info {
@@ -64,7 +93,7 @@ func campaignInfo(c *Campaign) Info {
 	if srv := c.Server(); srv != nil {
 		st := srv.Stats()
 		info.Stats = &st
-		if rec := c.Recovered(); rec != (answerlog.ReplayResult{}) {
+		if rec := c.Recovered(); rec != (eventlog.ReplayResult{}) {
 			info.Recovered = &rec
 		}
 	}
@@ -72,12 +101,32 @@ func campaignInfo(c *Campaign) Info {
 }
 
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
-	campaigns := m.Campaigns()
+	var filter State
+	if q := r.URL.Query().Get("state"); q != "" {
+		filter = State(q)
+		if !filter.valid() {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", q))
+			return
+		}
+	}
+	campaigns := m.Campaigns() // sorted by id: list order is deterministic
 	out := make([]Info, 0, len(campaigns))
 	for _, c := range campaigns {
+		if filter != "" && c.State() != filter {
+			continue
+		}
 		out = append(out, campaignInfo(c))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := m.Delete(id); err != nil {
+		httpError(w, statusFor(err, http.StatusInternalServerError), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
 func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +212,12 @@ func (m *Manager) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	state, h := c.serveInfo()
 	endpoint := r.PathValue("endpoint")
+	if allow, known := endpointMethods[endpoint]; known && r.Method != allow {
+		w.Header().Set("Allow", allow)
+		httpError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed for %s; use %s", r.Method, endpoint, allow))
+		return
+	}
 	switch {
 	case state == StateDraft:
 		httpError(w, http.StatusConflict,

@@ -10,8 +10,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/answerlog"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/experiments"
 )
 
@@ -260,7 +260,7 @@ func (m *Manager) Start(id string) error {
 				_ = c.log.Close()
 			}
 			c.srv, c.log, c.handler = nil, nil, nil
-			c.recovered = answerlog.ReplayResult{}
+			c.recovered = eventlog.ReplayResult{}
 			c.meta = prev
 			return err
 		}
@@ -321,6 +321,39 @@ func (m *Manager) CloseCampaign(id string) error {
 		}
 		return err
 	})
+}
+
+// Delete removes a campaign from the registry and from disk. Only closed
+// and draft campaigns can be deleted (ErrState otherwise): deleting a live
+// or paused campaign would destroy paid-for answer history behind a single
+// call, so it must be an explicit two-step act — close, then delete — while
+// a draft has no history to protect and no resources to stop. The metadata
+// file goes first: campaign.json is the existence commit point (exactly as
+// in Create), so a crash mid-delete leaves a directory without it, which
+// boot-time recovery already skips as debris and a later Create may
+// reclaim.
+func (m *Manager) Delete(id string) error {
+	err := m.withCampaign(id, func(c *Campaign) error {
+		if c.meta.State != StateClosed && c.meta.State != StateDraft {
+			return fmt.Errorf("%w: cannot delete a %s campaign (close it first)", ErrState, c.meta.State)
+		}
+		if err := os.Remove(filepath.Join(c.dir, metaFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("campaign %s: %w", id, err)
+		}
+		if err := os.RemoveAll(c.dir); err != nil {
+			// The campaign is already deleted in the only sense that matters
+			// (no campaign.json); leftover files are debris recovery skips.
+			return fmt.Errorf("campaign %s: removing directory: %w", id, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.campaigns, id)
+	m.mu.Unlock()
+	return nil
 }
 
 // withCampaign locates the campaign and runs fn under its lock. The

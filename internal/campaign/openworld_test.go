@@ -1,0 +1,251 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestOpenWorldCampaignEndToEnd is the open-world acceptance test, run
+// under -race: a live campaign starts with 3 objects and grows under
+// concurrent traffic — one feeder streaming POST /objects + /records while
+// workers pull tasks and answer — then the process dies kill-9 style (no
+// graceful Close) and a restart must replay the event log with every
+// acknowledged mutation AND answer intact, the grown corpus fully covered
+// by inference.
+func TestOpenWorldCampaignEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir)
+	api := httptest.NewServer(m.Handler())
+	defer api.Close()
+	client := api.Client()
+	const id = "grow"
+
+	body := createBody(t, Spec{ID: id, K: 3, Seed: 7, OpenAnswers: true}, StateLive, testDataset(id, 3))
+	resp, err := client.Post(api.URL+"/v1/campaigns", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, msg)
+	}
+
+	post := func(path string, payload any) (int, string) {
+		buf, _ := json.Marshal(payload)
+		resp, err := client.Post(api.URL+"/v1/campaigns/"+id+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Error(err)
+			return 0, ""
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(msg)
+	}
+
+	const nGrown = 16
+	type ack struct{ worker, object string }
+	ackedAnswers := map[ack]bool{}
+	var ackedMu sync.Mutex
+	var wg sync.WaitGroup
+
+	// Feeder: grow the campaign, one declared object + one record each.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nGrown; i++ {
+			o := fmt.Sprintf("grown-%02d", i)
+			if code, msg := post("/objects", map[string]any{
+				"object": o, "candidates": []string{"NY", "LA", "London"},
+			}); code != http.StatusOK {
+				t.Errorf("add object %s: %d: %s", o, code, msg)
+				return
+			}
+			if code, msg := post("/records", data.Record{Object: o, Source: "live-src", Value: "NY"}); code != http.StatusOK {
+				t.Errorf("add record %s: %d: %s", o, code, msg)
+				return
+			}
+		}
+	}()
+
+	// Workers: keep pulling and answering while the corpus grows.
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("w%02d", w)
+			for round := 0; round < 8; round++ {
+				resp, err := client.Get(fmt.Sprintf("%s/v1/campaigns/%s/task?worker=%s", api.URL, id, worker))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var tl struct {
+					Tasks []struct {
+						Object     string   `json:"object"`
+						Candidates []string `json:"candidates"`
+					} `json:"tasks"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&tl)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, task := range tl.Tasks {
+					code, msg := post("/answer", data.Answer{
+						Object: task.Object, Worker: worker, Value: task.Candidates[0],
+					})
+					if code == http.StatusConflict {
+						continue // raced a retry of the same assignment
+					}
+					if code != http.StatusOK {
+						t.Errorf("%s answer %s: %d: %s", worker, task.Object, code, msg)
+						return
+					}
+					ackedMu.Lock()
+					ackedAnswers[ack{worker, task.Object}] = true
+					ackedMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(ackedAnswers) == 0 {
+		t.Fatal("no answers acknowledged")
+	}
+
+	// New objects become assignable and reach /truths once folded into a
+	// published snapshot: force one and check while the process still lives.
+	if code, msg := post("/refresh", nil); code != http.StatusOK {
+		t.Fatalf("refresh: %d: %s", code, msg)
+	}
+	truthsOf := func(h http.Handler) map[string]string {
+		rec := doReq(t, h, "GET", "/v1/campaigns/"+id+"/truths", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("truths: %d", rec.Code)
+		}
+		var truths map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &truths); err != nil {
+			t.Fatal(err)
+		}
+		return truths
+	}
+	truths := truthsOf(m.Handler())
+	for i := 0; i < nGrown; i++ {
+		if _, ok := truths[fmt.Sprintf("grown-%02d", i)]; !ok {
+			t.Fatalf("grown-%02d missing from live truths", i)
+		}
+	}
+
+	// Kill -9: abandon the manager with no Close.
+	api.Close()
+
+	m2 := mustOpen(t, dir)
+	defer m2.Close()
+	c, ok := m2.Get(id)
+	if !ok {
+		t.Fatal("campaign not rediscovered after crash")
+	}
+	rec := c.Recovered()
+	if rec.Answers != len(ackedAnswers) || rec.Objects != nGrown || rec.Records != nGrown ||
+		rec.Duplicates != 0 || rec.Skipped != 0 {
+		t.Fatalf("recovered %+v, want %d answers, %d objects, %d records",
+			rec, len(ackedAnswers), nGrown, nGrown)
+	}
+
+	// The restarted campaign serves the full grown corpus.
+	h := m2.Handler()
+	truths = truthsOf(h)
+	if len(truths) != 3+nGrown {
+		t.Fatalf("restarted truths cover %d objects, want %d", len(truths), 3+nGrown)
+	}
+
+	// Replayed state rejects duplicates of every acknowledged kind.
+	if rec := doReq(t, h, "POST", "/v1/campaigns/"+id+"/objects",
+		`{"object":"grown-00","candidates":["NY"]}`); rec.Code != http.StatusConflict {
+		t.Fatalf("re-adding recovered object: %d, want 409", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns/"+id+"/records",
+		`{"object":"grown-00","source":"live-src","value":"LA"}`); rec.Code != http.StatusConflict {
+		t.Fatalf("re-adding recovered record: %d, want 409", rec.Code)
+	}
+	for a := range ackedAnswers {
+		body := fmt.Sprintf(`{"worker":%q,"object":%q,"value":"NY"}`, a.worker, a.object)
+		if rec := doReq(t, h, "POST", "/v1/campaigns/"+id+"/answer", body); rec.Code != http.StatusConflict {
+			t.Fatalf("resubmitted recovered answer: %d, want 409", rec.Code)
+		}
+		break
+	}
+}
+
+// TestLegacyAnswersOnlyLogBoots: a campaign whose answers.jsonl predates
+// typed events — bare answer lines only — still boots, its answers
+// recovered, and new typed events append to the same file (upgrade in
+// place, no migration step).
+func TestLegacyAnswersOnlyLogBoots(t *testing.T) {
+	dir := t.TempDir()
+	m := mustOpen(t, dir)
+	if _, err := m.Create(Spec{ID: "legacy", OpenAnswers: true}, testDataset("legacy", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("legacy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the pre-eventlog format: overwrite the log with bare lines.
+	logPath := filepath.Join(dir, campaignsDir, "legacy", logFile)
+	legacy := `{"object":"legacy-o00","worker":"w1","value":"NY"}` + "\n" +
+		`{"object":"legacy-o01","worker":"w1","value":"LA"}` + "\n"
+	if err := os.WriteFile(logPath, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := mustOpen(t, dir)
+	c, _ := m2.Get("legacy")
+	if rec := c.Recovered(); rec.Answers != 2 || rec.Skipped != 0 {
+		t.Fatalf("recovered %+v, want 2 legacy answers", rec)
+	}
+
+	// A live mutation appends a typed event to the same file...
+	h := m2.Handler()
+	if rec := doReq(t, h, "POST", "/v1/campaigns/legacy/objects",
+		`{"object":"born-live","candidates":["NY","London"]}`); rec.Code != http.StatusOK {
+		t.Fatalf("add object on upgraded log: %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and the mixed file replays whole on the next boot.
+	m3 := mustOpen(t, dir)
+	defer m3.Close()
+	c3, _ := m3.Get("legacy")
+	if rec := c3.Recovered(); rec.Answers != 2 || rec.Objects != 1 || rec.Skipped != 0 {
+		t.Fatalf("mixed replay %+v, want 2 answers + 1 object", rec)
+	}
+	var truths map[string]string
+	out := doReq(t, m3.Handler(), "GET", "/v1/campaigns/legacy/truths", "")
+	if err := json.Unmarshal(out.Body.Bytes(), &truths); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := truths["born-live"]; !ok {
+		t.Fatal("object added on the upgraded log missing after restart")
+	}
+}

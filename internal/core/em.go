@@ -101,38 +101,47 @@ func newModelShell(idx *data.Index, opt Options) *Model {
 func (m *Model) initialize() {
 	counts := []float64(nil)
 	for oid := range m.Idx.Views {
-		ov := m.Idx.ViewAt(oid)
-		n := ov.CI.NumValues()
-		if cap(counts) < n {
-			counts = make([]float64, n)
-		}
-		counts = counts[:n]
-		for i := range counts {
-			counts[i] = float64(ov.ValueCount[i])
-		}
-		// Worker answers count too so crowdsourced values are not ignored
-		// at initialization.
-		for _, cl := range ov.WorkerClaims {
-			counts[cl.Val]++
-		}
-		mu := m.Mu[oid]
-		total := 0.0
-		for i := range mu {
-			mu[i] = counts[i] + 1
-			if !m.Opt.FlatModel {
-				for _, j := range ov.CI.Anc[i] {
-					mu[i] += 0.5 * counts[j]
-				}
-				for _, j := range ov.CI.Desc[i] {
-					mu[i] += 0.5 * counts[j]
-				}
-			}
-			total += mu[i]
-		}
-		for i := range mu {
-			mu[i] /= total
-		}
+		counts = m.initObjectMu(oid, counts)
 	}
+}
+
+// initObjectMu applies the vote initialization to one object's μ row. The
+// counts buffer is reused across calls (returned so the caller can keep the
+// grown backing array); Model.Grow uses it to seed objects that enter a
+// fitted model through Index.Extend.
+func (m *Model) initObjectMu(oid int, counts []float64) []float64 {
+	ov := m.Idx.ViewAt(oid)
+	n := ov.CI.NumValues()
+	if cap(counts) < n {
+		counts = make([]float64, n)
+	}
+	counts = counts[:n]
+	for i := range counts {
+		counts[i] = float64(ov.ValueCount[i])
+	}
+	// Worker answers count too so crowdsourced values are not ignored
+	// at initialization.
+	for _, cl := range ov.WorkerClaims {
+		counts[cl.Val]++
+	}
+	mu := m.Mu[oid]
+	total := 0.0
+	for i := range mu {
+		mu[i] = counts[i] + 1
+		if !m.Opt.FlatModel {
+			for _, j := range ov.CI.Anc[i] {
+				mu[i] += 0.5 * counts[j]
+			}
+			for _, j := range ov.CI.Desc[i] {
+				mu[i] += 0.5 * counts[j]
+			}
+		}
+		total += mu[i]
+	}
+	for i := range mu {
+		mu[i] /= total
+	}
+	return counts
 }
 
 // emScratch holds the E-step working set, allocated once per Model and

@@ -33,7 +33,13 @@ type Dataset struct {
 	Answers []Answer          `json:"answers"`
 	Truth   map[string]string `json:"truth"`   // object -> gold value
 	Domains map[string]string `json:"domains"` // object -> domain label, optional
-	H       *hierarchy.Tree   `json:"-"`
+	// Candidates seeds extra candidate values per object, beyond the values
+	// claimed by records and answers. It is how an open-world campaign
+	// declares an object before any source has claimed it (POST /objects):
+	// the object becomes part of the index — and therefore assignable as a
+	// task — with the seeded value set as its Vo.
+	Candidates map[string][]string `json:"candidates,omitempty"`
+	H          *hierarchy.Tree     `json:"-"`
 }
 
 // Clone returns a deep copy of the dataset sharing the (immutable) tree.
@@ -52,11 +58,17 @@ func (d *Dataset) Clone() *Dataset {
 	for k, v := range d.Domains {
 		c.Domains[k] = v
 	}
+	if d.Candidates != nil {
+		c.Candidates = make(map[string][]string, len(d.Candidates))
+		for k, v := range d.Candidates {
+			c.Candidates[k] = append([]string(nil), v...)
+		}
+	}
 	return c
 }
 
-// Objects returns the sorted set of objects that appear in records or
-// answers.
+// Objects returns the sorted set of objects that appear in records, answers
+// or candidate seeds.
 func (d *Dataset) Objects() []string {
 	seen := map[string]bool{}
 	for _, r := range d.Records {
@@ -64,6 +76,9 @@ func (d *Dataset) Objects() []string {
 	}
 	for _, a := range d.Answers {
 		seen[a.Object] = true
+	}
+	for o := range d.Candidates {
+		seen[o] = true
 	}
 	out := make([]string, 0, len(seen))
 	for o := range seen {
@@ -113,6 +128,16 @@ func (d *Dataset) Validate() error {
 	for i, a := range d.Answers {
 		if a.Object == "" || a.Worker == "" || a.Value == "" {
 			return fmt.Errorf("data: answer %d has empty field: %+v", i, a)
+		}
+	}
+	for o, vals := range d.Candidates {
+		if o == "" {
+			return fmt.Errorf("data: candidate seed with empty object")
+		}
+		for _, v := range vals {
+			if v == "" {
+				return fmt.Errorf("data: candidate seed for %q has empty value", o)
+			}
 		}
 	}
 	if d.H != nil {

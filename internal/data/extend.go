@@ -1,0 +1,203 @@
+package data
+
+import (
+	"sort"
+
+	"repro/internal/hierarchy"
+)
+
+// Mutation is a batch of dataset additions applied by Index.Extend: source
+// records, worker answers, and per-object candidate seeds (the open-world
+// growth events of a live campaign). All referenced values must already
+// exist in the value hierarchy when one is attached — new-value hierarchy
+// nodes are out of scope for live growth; they require a full rebuild.
+type Mutation struct {
+	Records    []Record
+	Answers    []Answer
+	Candidates map[string][]string
+}
+
+// Empty reports whether the mutation carries nothing to apply.
+func (mu *Mutation) Empty() bool {
+	return len(mu.Records) == 0 && len(mu.Answers) == 0 && len(mu.Candidates) == 0
+}
+
+// objects lists every object name the mutation touches.
+func (mu *Mutation) objects() map[string]bool {
+	touched := make(map[string]bool, len(mu.Records)+len(mu.Answers)+len(mu.Candidates))
+	for _, r := range mu.Records {
+		touched[r.Object] = true
+	}
+	for _, a := range mu.Answers {
+		touched[a.Object] = true
+	}
+	for o := range mu.Candidates {
+		touched[o] = true
+	}
+	return touched
+}
+
+// Extend returns a new Index covering idx plus the mutation, leaving idx —
+// which may be the index of a published, concurrently-read snapshot —
+// untouched. ds must be the dataset with the mutation already appended (the
+// caller owns the dataset copy; the extended index adopts it as its DS).
+//
+// Dense IDs are stable: every object, source and worker known to idx keeps
+// its ID, and new names are interned after the existing ones (sorted among
+// themselves, for determinism). Only the objects the mutation touches get
+// their views — candidate index, claim lists, precomputed relationship and
+// popularity tables — rebuilt; untouched views, which dominate under live
+// growth, are shared with idx. The derived claim numbering and CSR
+// transpose are recomputed (a linear integer pass), so the result is a
+// full-fidelity Index: inference on it matches NewIndex(ds) up to summation
+// order, which is what pins the grow-then-infer ≡ build-from-scratch
+// equivalence.
+//
+// The second return value lists the touched object IDs (rebuilt and new) in
+// ascending order, which is what core.Model.Grow needs to re-seed exactly
+// the entries whose candidate sets may have changed.
+func (idx *Index) Extend(ds *Dataset, mu Mutation) (*Index, []int) {
+	touchedNames := mu.objects()
+	if len(touchedNames) == 0 {
+		return idx, nil
+	}
+
+	next := &Index{DS: ds}
+
+	// Gather the touched objects' full value lists in dataset order — the
+	// same order NewIndex sees, so the rebuilt candidate sets are identical
+	// to a from-scratch build — and every participant claiming a touched
+	// object that the old index has not interned. New sources from the
+	// mutation are the common case; a touched object can also carry answers
+	// from workers accepted since the last full refit (the dataset leads
+	// the fitted index under streaming), and their claims must not be
+	// orphaned by the rebuild.
+	perObjVals := make(map[string][]string, len(touchedNames))
+	newSources := map[string]bool{}
+	newWorkers := map[string]bool{}
+	for _, r := range ds.Records {
+		if touchedNames[r.Object] {
+			perObjVals[r.Object] = append(perObjVals[r.Object], r.Value)
+			if _, ok := idx.sourceID[r.Source]; !ok {
+				newSources[r.Source] = true
+			}
+		}
+	}
+	for _, a := range ds.Answers {
+		if touchedNames[a.Object] {
+			perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
+			if _, ok := idx.workerID[a.Worker]; !ok {
+				newWorkers[a.Worker] = true
+			}
+		}
+	}
+	for o, vals := range ds.Candidates {
+		if touchedNames[o] {
+			perObjVals[o] = append(perObjVals[o], vals...)
+		}
+	}
+
+	// Intern names: existing IDs are positions in the old slices and stay
+	// put; new names are appended (sorted among themselves).
+	next.Objects, next.objectID = extendNames(idx.Objects, idx.objectID, touchedNames)
+	next.SourceNames, next.sourceID = extendNames(idx.SourceNames, idx.sourceID, newSources)
+	next.WorkerNames, next.workerID = extendNames(idx.WorkerNames, idx.workerID, newWorkers)
+
+	// Views: untouched objects share their (immutable) inner structures;
+	// the shallow struct copy exists only to point the back-reference at
+	// the new index. Touched objects are rebuilt from the dataset below.
+	next.Views = make([]ObjectView, len(next.Objects))
+	copy(next.Views, idx.Views)
+	for i := range next.Views {
+		next.Views[i].idx = next
+	}
+
+	touched := make([]int, 0, len(touchedNames))
+	for o := range touchedNames {
+		touched = append(touched, next.objectID[o])
+	}
+	sort.Ints(touched)
+	next.rebuildViews(touched, perObjVals)
+	next.buildDerived()
+	return next, touched
+}
+
+// extendNames appends the new names (sorted) to the existing ID-ordered
+// slice and returns the slice plus a fresh name→ID map. The map is copied
+// rather than mutated: the old index's map is read lock-free by snapshot
+// readers. Names already interned are ignored.
+func extendNames(names []string, ids map[string]int, add map[string]bool) ([]string, map[string]int) {
+	fresh := make([]string, 0, len(add))
+	for n := range add {
+		if _, ok := ids[n]; !ok {
+			fresh = append(fresh, n)
+		}
+	}
+	sort.Strings(fresh)
+	out := make([]string, len(names), len(names)+len(fresh))
+	copy(out, names)
+	out = append(out, fresh...)
+	m := make(map[string]int, len(out))
+	for i, n := range out {
+		m[n] = i
+	}
+	return out, m
+}
+
+// rebuildViews reconstructs the views of the touched object IDs from the
+// dataset, exactly as NewIndex would: candidate index over the object's full
+// value list, first-wins claim dedup, ID-sorted claim lists, and the
+// precomputed tables.
+func (idx *Index) rebuildViews(touched []int, perObjVals map[string][]string) {
+	ds := idx.DS
+	touchedSet := make(map[int]bool, len(touched))
+	for _, oid := range touched {
+		o := idx.Objects[oid]
+		ci := hierarchy.NewCandidateIndex(ds.H, perObjVals[o])
+		idx.Views[oid] = ObjectView{
+			Object:     o,
+			ID:         oid,
+			CI:         ci,
+			ValueCount: make([]int, ci.NumValues()),
+			idx:        idx,
+		}
+		touchedSet[oid] = true
+	}
+	type pair struct{ o, p int }
+	seen := map[pair]bool{}
+	for _, r := range ds.Records {
+		oid := idx.objectID[r.Object]
+		if !touchedSet[oid] {
+			continue
+		}
+		sid := idx.sourceID[r.Source]
+		if seen[pair{oid, sid}] {
+			continue
+		}
+		seen[pair{oid, sid}] = true
+		ov := &idx.Views[oid]
+		vi := ov.CI.Pos[r.Value]
+		ov.SourceClaims = append(ov.SourceClaims, Claim{int32(sid), int32(vi)})
+		ov.ValueCount[vi]++
+	}
+	clear(seen)
+	for _, a := range ds.Answers {
+		oid := idx.objectID[a.Object]
+		if !touchedSet[oid] {
+			continue
+		}
+		wid := idx.workerID[a.Worker]
+		if seen[pair{oid, wid}] {
+			continue
+		}
+		seen[pair{oid, wid}] = true
+		ov := &idx.Views[oid]
+		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ov.CI.Pos[a.Value])})
+	}
+	for _, oid := range touched {
+		ov := &idx.Views[oid]
+		sortClaims(ov.SourceClaims)
+		sortClaims(ov.WorkerClaims)
+		ov.precompute()
+	}
+}

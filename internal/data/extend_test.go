@@ -1,0 +1,268 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+)
+
+// applyMutation appends a mutation to a dataset the way the server pipeline
+// does before calling Extend.
+func applyMutation(ds *Dataset, mu Mutation) *Dataset {
+	out := ds.Clone()
+	out.Records = append(out.Records, mu.Records...)
+	out.Answers = append(out.Answers, mu.Answers...)
+	if len(mu.Candidates) > 0 && out.Candidates == nil {
+		out.Candidates = map[string][]string{}
+	}
+	for o, vals := range mu.Candidates {
+		out.Candidates[o] = append(out.Candidates[o], vals...)
+	}
+	return out
+}
+
+func growthMutation() Mutation {
+	return Mutation{
+		Records: []Record{
+			// New object from a brand-new source.
+			{"tower", "newsource", "London"},
+			// Second claim on the new object from an existing source.
+			{"tower", "wiki", "UK"},
+			// New value on an existing object: statue's candidate set grows.
+			{"statue", "newsource", "USA"},
+		},
+		Answers: []Answer{
+			// New worker answering the new object.
+			{"tower", "newworker", "London"},
+			// Existing worker answering an existing object.
+			{"statue", "emma", "NY"},
+		},
+		Candidates: map[string][]string{
+			// Declared object with seeded candidates, no claims yet.
+			"palace": {"London", "Manchester"},
+		},
+	}
+}
+
+func TestExtendKeepsDenseIDsStable(t *testing.T) {
+	base := tinyDataset(t)
+	idx := NewIndex(base)
+	mu := growthMutation()
+	ds2 := applyMutation(base, mu)
+	next, touched := idx.Extend(ds2, mu)
+
+	for name, id := range idx.objectID {
+		if got, ok := next.ObjectID(name); !ok || got != id {
+			t.Fatalf("object %q moved: %d -> %d (ok=%v)", name, id, got, ok)
+		}
+	}
+	for name, id := range idx.sourceID {
+		if got, ok := next.SourceID(name); !ok || got != id {
+			t.Fatalf("source %q moved: %d -> %d (ok=%v)", name, id, got, ok)
+		}
+	}
+	for name, id := range idx.workerID {
+		if got, ok := next.WorkerID(name); !ok || got != id {
+			t.Fatalf("worker %q moved: %d -> %d (ok=%v)", name, id, got, ok)
+		}
+	}
+	// New names intern after the existing ones.
+	for _, name := range []string{"tower", "palace"} {
+		id, ok := next.ObjectID(name)
+		if !ok || id < idx.NumObjects() {
+			t.Fatalf("new object %q: id %d (ok=%v), want >= %d", name, id, ok, idx.NumObjects())
+		}
+	}
+	if id, ok := next.SourceID("newsource"); !ok || id != idx.NumSources() {
+		t.Fatalf("newsource id = %d (ok=%v)", id, ok)
+	}
+	if id, ok := next.WorkerID("newworker"); !ok || id != idx.NumWorkers() {
+		t.Fatalf("newworker id = %d (ok=%v)", id, ok)
+	}
+
+	// Touched = statue (new value + new answer) plus the two new objects,
+	// ascending; bigben untouched and its view shared, not rebuilt.
+	statueID, _ := next.ObjectID("statue")
+	towerID, _ := next.ObjectID("tower")
+	palaceID, _ := next.ObjectID("palace")
+	want := []int{statueID, towerID, palaceID}
+	if want[1] > want[2] {
+		want[1], want[2] = want[2], want[1]
+	}
+	if !reflect.DeepEqual(touched, want) {
+		t.Fatalf("touched = %v, want %v", touched, want)
+	}
+	bigbenID, _ := idx.ObjectID("bigben")
+	if next.ViewAt(bigbenID).CI != idx.ViewAt(bigbenID).CI {
+		t.Fatal("untouched view was rebuilt instead of shared")
+	}
+	if idx.ViewAt(bigbenID).Index() != idx || next.ViewAt(bigbenID).Index() != next {
+		t.Fatal("view back-references not fixed up")
+	}
+
+	// The old index is untouched: statue still has its original candidates.
+	if idx.View("statue").CI.NumValues() != 3 {
+		t.Fatalf("old statue view mutated: |Vo| = %d", idx.View("statue").CI.NumValues())
+	}
+	if idx.View("tower") != nil || idx.View("palace") != nil {
+		t.Fatal("old index gained objects")
+	}
+}
+
+// TestExtendMatchesScratch pins Extend's output structurally against a
+// from-scratch NewIndex over the same extended dataset: identical candidate
+// sets, claims, value counts and participant structures per object NAME
+// (dense IDs may differ — Extend appends, NewIndex sorts).
+func TestExtendMatchesScratch(t *testing.T) {
+	base := tinyDataset(t)
+	idx := NewIndex(base)
+	mu := growthMutation()
+	ds2 := applyMutation(base, mu)
+	grown, _ := idx.Extend(ds2, mu)
+	scratch := NewIndex(ds2)
+
+	if grown.NumObjects() != scratch.NumObjects() ||
+		grown.NumSources() != scratch.NumSources() ||
+		grown.NumWorkers() != scratch.NumWorkers() {
+		t.Fatalf("sizes differ: grown (%d,%d,%d) scratch (%d,%d,%d)",
+			grown.NumObjects(), grown.NumSources(), grown.NumWorkers(),
+			scratch.NumObjects(), scratch.NumSources(), scratch.NumWorkers())
+	}
+	if grown.NumSourceClaims() != scratch.NumSourceClaims() ||
+		grown.NumWorkerClaims() != scratch.NumWorkerClaims() {
+		t.Fatalf("claim totals differ: grown (%d,%d) scratch (%d,%d)",
+			grown.NumSourceClaims(), grown.NumWorkerClaims(),
+			scratch.NumSourceClaims(), scratch.NumWorkerClaims())
+	}
+	for _, o := range scratch.Objects {
+		g, s := grown.View(o), scratch.View(o)
+		if g == nil {
+			t.Fatalf("grown index missing object %q", o)
+		}
+		if !reflect.DeepEqual(g.CI.Values, s.CI.Values) {
+			t.Fatalf("%q candidates: grown %v scratch %v", o, g.CI.Values, s.CI.Values)
+		}
+		if !reflect.DeepEqual(g.ValueCount, s.ValueCount) {
+			t.Fatalf("%q value counts: grown %v scratch %v", o, g.ValueCount, s.ValueCount)
+		}
+		// Claims by (participant name, value): same set in both.
+		gs := claimSet(g, true)
+		ss := claimSet(s, true)
+		if !reflect.DeepEqual(gs, ss) {
+			t.Fatalf("%q source claims: grown %v scratch %v", o, gs, ss)
+		}
+		gw := claimSet(g, false)
+		sw := claimSet(s, false)
+		if !reflect.DeepEqual(gw, sw) {
+			t.Fatalf("%q worker claims: grown %v scratch %v", o, gw, sw)
+		}
+	}
+	// Participant object lists agree by name.
+	for _, s := range scratch.SourceNames {
+		if got, want := grown.ObjectsOfSource(s), scratch.ObjectsOfSource(s); !sameStringSet(got, want) {
+			t.Fatalf("Os(%s): grown %v scratch %v", s, got, want)
+		}
+	}
+	for _, w := range scratch.WorkerNames {
+		if got, want := grown.ObjectsOfWorker(w), scratch.ObjectsOfWorker(w); !sameStringSet(got, want) {
+			t.Fatalf("Ow(%s): grown %v scratch %v", w, got, want)
+		}
+	}
+}
+
+// claimSet renders an object's claims as participantName->value (candidate
+// value ordering is sorted in both indices, so names are comparable).
+func claimSet(ov *ObjectView, sources bool) map[string]string {
+	out := map[string]string{}
+	if sources {
+		for _, cl := range ov.SourceClaims {
+			out[ov.SourceName(cl.Part)] = ov.CI.Values[cl.Val]
+		}
+	} else {
+		for _, cl := range ov.WorkerClaims {
+			out[ov.WorkerName(cl.Part)] = ov.CI.Values[cl.Val]
+		}
+	}
+	return out
+}
+
+func sameStringSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExtendDedupsAndMergesIdempotently(t *testing.T) {
+	base := tinyDataset(t)
+	idx := NewIndex(base)
+	mu := Mutation{
+		Records: []Record{
+			// Duplicate of an existing (object, source) claim: dropped.
+			{"statue", "unesco", "LA"},
+			// The same new claim twice: first wins.
+			{"tower", "wiki", "London"},
+			{"tower", "wiki", "Manchester"},
+		},
+		Candidates: map[string][]string{
+			// Duplicate candidate seeds collapse.
+			"palace": {"London", "London"},
+		},
+	}
+	ds2 := applyMutation(base, mu)
+	next, _ := idx.Extend(ds2, mu)
+
+	st := next.View("statue")
+	if v, ok := st.SourceClaim("unesco"); !ok || st.CI.Values[v] != "NY" {
+		t.Fatalf("duplicate claim overwrote original: %v %v", v, ok)
+	}
+	tw := next.View("tower")
+	if v, ok := tw.SourceClaim("wiki"); !ok || tw.CI.Values[v] != "London" {
+		t.Fatalf("first-wins dedup broken: %v %v", v, ok)
+	}
+	if got := next.View("palace").CI.NumValues(); got != 1 {
+		t.Fatalf("palace |Vo| = %d, want 1", got)
+	}
+}
+
+func TestExtendEmptyMutationReturnsSameIndex(t *testing.T) {
+	base := tinyDataset(t)
+	idx := NewIndex(base)
+	next, touched := idx.Extend(base, Mutation{})
+	if next != idx || touched != nil {
+		t.Fatalf("empty mutation: next=%p idx=%p touched=%v", next, idx, touched)
+	}
+}
+
+// TestExtendChain grows an index twice and checks the second extension sees
+// the first one's state (values accumulate across extensions).
+func TestExtendChain(t *testing.T) {
+	base := tinyDataset(t)
+	idx := NewIndex(base)
+	mu1 := Mutation{Records: []Record{{"tower", "wiki", "London"}}}
+	ds1 := applyMutation(base, mu1)
+	idx1, _ := idx.Extend(ds1, mu1)
+	mu2 := Mutation{Records: []Record{{"tower", "unesco", "Manchester"}}}
+	ds2 := applyMutation(ds1, mu2)
+	idx2b, _ := idx1.Extend(ds2, mu2)
+	tw := idx2b.View("tower")
+	if tw.CI.NumValues() != 2 {
+		t.Fatalf("tower |Vo| = %d, want 2", tw.CI.NumValues())
+	}
+	if len(tw.SourceClaims) != 2 {
+		t.Fatalf("tower claims = %d, want 2", len(tw.SourceClaims))
+	}
+	id1, _ := idx1.ObjectID("tower")
+	id2, _ := idx2b.ObjectID("tower")
+	if id1 != id2 {
+		t.Fatalf("tower moved between extensions: %d -> %d", id1, id2)
+	}
+}

@@ -293,9 +293,12 @@ func (ov *ObjectView) precompute() {
 // layers.
 type Index struct {
 	DS *Dataset
-	// Objects is sorted; the position of a name is its object ID.
+	// Objects holds one name per object; the position of a name is its
+	// object ID. NewIndex sorts it; Extend appends new objects after the
+	// existing ones (sorted among themselves) so established IDs never move.
 	Objects []string
-	// SourceNames / WorkerNames are sorted; positions are participant IDs.
+	// SourceNames / WorkerNames follow the same discipline; positions are
+	// participant IDs.
 	SourceNames []string
 	WorkerNames []string
 	// Views[id] is the per-object view of Objects[id].
@@ -327,7 +330,8 @@ type Index struct {
 // NewIndex builds the index. Worker answers contribute to candidate sets
 // (workers answered from Vo in the paper's setting, but the index tolerates
 // out-of-Vo answers by extending the candidate set, which also covers
-// free-text crowdsourcing).
+// free-text crowdsourcing). Candidate seeds (Dataset.Candidates) contribute
+// objects and values exactly like claims, minus the claim itself.
 func NewIndex(ds *Dataset) *Index {
 	idx := &Index{DS: ds}
 
@@ -337,6 +341,9 @@ func NewIndex(ds *Dataset) *Index {
 	}
 	for _, a := range ds.Answers {
 		perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
+	}
+	for o, vals := range ds.Candidates {
+		perObjVals[o] = append(perObjVals[o], vals...)
 	}
 	idx.Objects = make([]string, 0, len(perObjVals))
 	for o := range perObjVals {
@@ -375,8 +382,6 @@ func NewIndex(ds *Dataset) *Index {
 	// worker): later duplicates are dropped so the claim lists, ValueCount
 	// and the participant object lists stay mutually consistent — the EM's
 	// M-step normalizers depend on it.
-	idx.SourceObjIDs = make([][]int32, len(idx.SourceNames))
-	idx.WorkerObjIDs = make([][]int32, len(idx.WorkerNames))
 	type pair struct{ o, p int }
 	seen := make(map[pair]bool, len(ds.Records))
 	for _, r := range ds.Records {
@@ -390,7 +395,6 @@ func NewIndex(ds *Dataset) *Index {
 		vi := ov.CI.Pos[r.Value]
 		ov.SourceClaims = append(ov.SourceClaims, Claim{int32(sid), int32(vi)})
 		ov.ValueCount[vi]++
-		idx.SourceObjIDs[sid] = append(idx.SourceObjIDs[sid], int32(oid))
 	}
 	clear(seen)
 	for _, a := range ds.Answers {
@@ -402,7 +406,6 @@ func NewIndex(ds *Dataset) *Index {
 		seen[pair{oid, wid}] = true
 		ov := &idx.Views[oid]
 		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ov.CI.Pos[a.Value])})
-		idx.WorkerObjIDs[wid] = append(idx.WorkerObjIDs[wid], int32(oid))
 	}
 
 	for i := range idx.Views {
@@ -411,41 +414,40 @@ func NewIndex(ds *Dataset) *Index {
 		sortClaims(ov.WorkerClaims)
 		ov.precompute()
 	}
-	for _, objs := range idx.SourceObjIDs {
-		sortInt32(objs)
-	}
-	for _, objs := range idx.WorkerObjIDs {
-		sortInt32(objs)
-	}
+	idx.buildDerived()
+	return idx
+}
 
-	// Global claim numbering and the participant-major transpose.
+// buildDerived computes every index structure that is a pure function of the
+// finalized per-object views: the per-participant object lists (Os / Ow),
+// the global claim numbering, and the participant-major CSR transpose.
+// Shared by NewIndex and Extend — walking objects in ascending ID keeps the
+// per-participant lists sorted and gives every claim its stable global ID.
+func (idx *Index) buildDerived() {
+	idx.SourceObjIDs = make([][]int32, len(idx.SourceNames))
+	idx.WorkerObjIDs = make([][]int32, len(idx.WorkerNames))
 	idx.SrcClaimStart = make([]int32, len(idx.Views)+1)
 	idx.WkrClaimStart = make([]int32, len(idx.Views)+1)
 	idx.SourceClaimRefs = make([][]int32, len(idx.SourceNames))
 	idx.WorkerClaimRefs = make([][]int32, len(idx.WorkerNames))
-	for sid, objs := range idx.SourceObjIDs {
-		idx.SourceClaimRefs[sid] = make([]int32, 0, len(objs))
-	}
-	for wid, objs := range idx.WorkerObjIDs {
-		idx.WorkerClaimRefs[wid] = make([]int32, 0, len(objs))
-	}
 	var sGlob, wGlob int32
 	for i := range idx.Views {
 		ov := &idx.Views[i]
 		idx.SrcClaimStart[i] = sGlob
 		idx.WkrClaimStart[i] = wGlob
 		for _, cl := range ov.SourceClaims {
+			idx.SourceObjIDs[cl.Part] = append(idx.SourceObjIDs[cl.Part], int32(i))
 			idx.SourceClaimRefs[cl.Part] = append(idx.SourceClaimRefs[cl.Part], sGlob)
 			sGlob++
 		}
 		for _, cl := range ov.WorkerClaims {
+			idx.WorkerObjIDs[cl.Part] = append(idx.WorkerObjIDs[cl.Part], int32(i))
 			idx.WorkerClaimRefs[cl.Part] = append(idx.WorkerClaimRefs[cl.Part], wGlob)
 			wGlob++
 		}
 	}
 	idx.SrcClaimStart[len(idx.Views)] = sGlob
 	idx.WkrClaimStart[len(idx.Views)] = wGlob
-	return idx
 }
 
 // NumSourceClaims returns the total number of deduplicated source claims.
@@ -476,10 +478,6 @@ func internNames(n int, get func(int) string) []string {
 // sortClaims orders a claim slice by participant ID.
 func sortClaims(cs []Claim) {
 	sort.Slice(cs, func(i, j int) bool { return cs[i].Part < cs[j].Part })
-}
-
-func sortInt32(xs []int32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 }
 
 // NumObjects returns |O|.

@@ -13,23 +13,25 @@ import (
 // wireDataset is the on-disk JSON shape; the hierarchy is flattened to
 // (node, parent) edges so the format is diff-friendly and stable.
 type wireDataset struct {
-	Name    string            `json:"name"`
-	Root    string            `json:"root"`
-	Edges   [][2]string       `json:"edges"` // [node, parent]
-	Records []Record          `json:"records"`
-	Answers []Answer          `json:"answers"`
-	Truth   map[string]string `json:"truth"`
-	Domains map[string]string `json:"domains,omitempty"`
+	Name       string              `json:"name"`
+	Root       string              `json:"root"`
+	Edges      [][2]string         `json:"edges"` // [node, parent]
+	Records    []Record            `json:"records"`
+	Answers    []Answer            `json:"answers"`
+	Truth      map[string]string   `json:"truth"`
+	Domains    map[string]string   `json:"domains,omitempty"`
+	Candidates map[string][]string `json:"candidates,omitempty"`
 }
 
 // Write serializes the dataset as JSON to w.
 func Write(w io.Writer, ds *Dataset) error {
 	wd := wireDataset{
-		Name:    ds.Name,
-		Records: ds.Records,
-		Answers: ds.Answers,
-		Truth:   ds.Truth,
-		Domains: ds.Domains,
+		Name:       ds.Name,
+		Records:    ds.Records,
+		Answers:    ds.Answers,
+		Truth:      ds.Truth,
+		Domains:    ds.Domains,
+		Candidates: ds.Candidates,
 	}
 	if ds.H != nil {
 		wd.Root = ds.H.Root()
@@ -53,11 +55,12 @@ func Read(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("data: decode: %w", err)
 	}
 	ds := &Dataset{
-		Name:    wd.Name,
-		Records: wd.Records,
-		Answers: wd.Answers,
-		Truth:   wd.Truth,
-		Domains: wd.Domains,
+		Name:       wd.Name,
+		Records:    wd.Records,
+		Answers:    wd.Answers,
+		Truth:      wd.Truth,
+		Domains:    wd.Domains,
+		Candidates: wd.Candidates,
 	}
 	if ds.Truth == nil {
 		ds.Truth = map[string]string{}

@@ -1,4 +1,4 @@
-package answerlog
+package eventlog
 
 import (
 	"fmt"

@@ -1,8 +1,11 @@
-package answerlog
+package eventlog
+
+// The durability suite, carried over from internal/answerlog when eventlog
+// absorbed it: group-commit well-formedness, over-long and torn lines,
+// within-log dedup, reopen-and-append.
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -10,88 +13,6 @@ import (
 
 	"repro/internal/data"
 )
-
-func TestAppendReplayRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "answers.jsonl")
-	l, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	answers := []data.Answer{
-		{Object: "o1", Worker: "w1", Value: "v1"},
-		{Object: "o2", Worker: "w2", Value: "v2"},
-		{Object: "o1", Worker: "w3", Value: "v1"},
-	}
-	for _, a := range answers {
-		if err := l.Append(a); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if l.Count() != 3 {
-		t.Fatalf("count = %d", l.Count())
-	}
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
-	res, err := Replay(path, ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Answers != 3 || res.Skipped != 0 {
-		t.Fatalf("replay = %+v", res)
-	}
-	for i, a := range answers {
-		if ds.Answers[i] != a {
-			t.Fatalf("answer %d mismatch", i)
-		}
-	}
-}
-
-func TestAppendValidatesAndClosedFails(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "a.jsonl")
-	l, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := l.Append(data.Answer{Object: "", Worker: "w", Value: "v"}); err == nil {
-		t.Fatal("empty field must fail")
-	}
-	l.Close()
-	if err := l.Append(data.Answer{Object: "o", Worker: "w", Value: "v"}); err == nil {
-		t.Fatal("append after close must fail")
-	}
-	if err := l.Close(); err != nil {
-		t.Fatal("double close must be a no-op")
-	}
-}
-
-func TestReplayMissingFileIsEmptyCampaign(t *testing.T) {
-	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
-	res, err := Replay(filepath.Join(t.TempDir(), "nope.jsonl"), ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Answers != 0 || len(ds.Answers) != 0 {
-		t.Fatal("missing log must mean empty campaign")
-	}
-}
-
-func TestReplayTornWrite(t *testing.T) {
-	// A crash mid-append leaves a torn last line; recovery must keep the
-	// intact prefix and skip the torn tail.
-	raw := `{"object":"o1","worker":"w1","value":"v1"}
-{"object":"o2","worker":"w2","value":"v2"}
-{"object":"o3","wor`
-	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
-	res, err := ReplayFrom(strings.NewReader(raw), ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Answers != 2 || res.Skipped != 1 {
-		t.Fatalf("replay = %+v", res)
-	}
-}
 
 func TestReplaySkipsGarbageAndEmptyLines(t *testing.T) {
 	raw := "\n\nnot json\n{\"object\":\"o\",\"worker\":\"w\",\"value\":\"v\"}\n{\"object\":\"\",\"worker\":\"w\",\"value\":\"v\"}\n"
@@ -142,7 +63,7 @@ func TestReplaySkipsOverlongFinalLineWithoutNewline(t *testing.T) {
 	}
 }
 
-func TestConcurrentAppends(t *testing.T) {
+func TestConcurrentAppendsDedupeWithinLog(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.jsonl")
 	l, err := Open(path)
 	if err != nil {
@@ -151,10 +72,10 @@ func TestConcurrentAppends(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 20; i++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			_ = l.Append(data.Answer{Object: "o", Worker: "w", Value: "v"})
-		}(i)
+		}()
 	}
 	wg.Wait()
 	l.Close()
@@ -173,7 +94,7 @@ func TestConcurrentAppends(t *testing.T) {
 
 func TestGroupCommitAllDurableAndWellFormed(t *testing.T) {
 	// Many concurrent appenders share group commits; every acknowledged
-	// answer must be on disk as its own well-formed line once Append
+	// event must be on disk as its own well-formed line once the append
 	// returns, and Count must reflect exactly the committed batch sizes.
 	path := filepath.Join(t.TempDir(), "g.jsonl")
 	l, err := Open(path)
@@ -212,43 +133,26 @@ func TestGroupCommitAllDurableAndWellFormed(t *testing.T) {
 	}
 }
 
-func TestReplayDedupesAgainstDatasetAndWithinLog(t *testing.T) {
-	raw := `{"object":"o1","worker":"w1","value":"v1"}
-{"object":"o1","worker":"w1","value":"v2"}
-{"object":"o2","worker":"w1","value":"v1"}
-`
-	ds := &data.Dataset{
-		Name:    "x",
-		Truth:   map[string]string{},
-		Answers: []data.Answer{{Object: "o2", Worker: "w1", Value: "v9"}},
-	}
-	res, err := ReplayFrom(strings.NewReader(raw), ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// o1/w1 appears twice in the log (second dropped); o2/w1 is already in
-	// the dataset (dropped).
-	if res.Answers != 1 || res.Duplicates != 2 || res.Skipped != 0 {
-		t.Fatalf("replay = %+v", res)
-	}
-	if len(ds.Answers) != 2 {
-		t.Fatalf("dataset answers = %+v", ds.Answers)
-	}
-}
-
 func TestReopenAppendsToExisting(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.jsonl")
-	l1, _ := Open(path)
-	_ = l1.Append(data.Answer{Object: "o1", Worker: "w", Value: "v"})
-	l1.Close()
-	l2, _ := Open(path)
-	_ = l2.Append(data.Answer{Object: "o2", Worker: "w", Value: "v"})
-	l2.Close()
-	raw, err := os.ReadFile(path)
+	for i := 0; i < 3; i++ {
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(data.Answer{Object: fmt.Sprintf("o%d", i), Worker: "w", Value: "v"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := &data.Dataset{Name: "x", Truth: map[string]string{}}
+	res, err := Replay(path, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Count(string(raw), "\n") != 2 {
-		t.Fatalf("log should have 2 lines:\n%s", raw)
+	if res.Answers != 3 {
+		t.Fatalf("replay = %+v, want 3 answers across reopens", res)
 	}
 }

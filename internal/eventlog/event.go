@@ -1,0 +1,114 @@
+// Package eventlog provides the typed, versioned, durable event log of an
+// open-world campaign — the generalization of the repo's original
+// answers-only log (the since-absorbed internal/answerlog) from
+// "append-only answer log" to "append-only dataset-mutation log". One JSON
+// event per line, fsync'd (group-committed) before the append returns;
+// replaying the log over the campaign's seed dataset reconstructs every
+// acknowledged answer AND every acknowledged dataset mutation, which is
+// what lets a campaign keep growing (new objects, new source records)
+// while workers answer, and survive a kill -9 with zero acknowledged loss.
+//
+// Wire format. Each line is one Event:
+//
+//	{"type":"answer","v":1,"object":"o","worker":"w","value":"x"}
+//	{"type":"add_object","v":1,"object":"o","candidates":["a","b"]}
+//	{"type":"add_record","v":1,"object":"o","source":"s","value":"x"}
+//
+// Legacy compatibility: a bare answerlog line — {"object","worker","value"}
+// with no "type" — replays as an answer, so a pre-existing answers.jsonl is
+// upgraded in place simply by appending typed events after it. Unknown
+// types and versions newer than Version are skipped (and counted) on
+// replay, never failing recovery: a log written by a newer build must not
+// strand an older reader's campaign.
+package eventlog
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+)
+
+// Version is the newest event format version this build writes and
+// understands. Version 0 (implied by a missing "v" field) is the legacy
+// bare-answer line.
+const Version = 1
+
+// Type discriminates events. The empty string marks a legacy bare answer
+// line (version 0), which predates the "type" field.
+type Type string
+
+const (
+	TypeAnswer    Type = "answer"
+	TypeAddObject Type = "add_object"
+	TypeAddRecord Type = "add_record"
+)
+
+// Event is one durable campaign event. Payload fields are inlined rather
+// than nested so that a legacy answer line IS a valid Event — the whole
+// legacy log format is a subset of this one.
+type Event struct {
+	Type Type `json:"type,omitempty"`
+	V    int  `json:"v,omitempty"`
+
+	Object string `json:"object,omitempty"`
+	Worker string `json:"worker,omitempty"` // answer
+	Source string `json:"source,omitempty"` // add_record
+	Value  string `json:"value,omitempty"`  // answer, add_record
+	// Candidates seeds an added object's candidate value set (add_object).
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// AnswerEvent wraps a crowd answer as a typed event.
+func AnswerEvent(a data.Answer) Event {
+	return Event{Type: TypeAnswer, V: Version, Object: a.Object, Worker: a.Worker, Value: a.Value}
+}
+
+// AddObjectEvent declares a new object with seeded candidate values.
+func AddObjectEvent(object string, candidates []string) Event {
+	return Event{Type: TypeAddObject, V: Version, Object: object, Candidates: candidates}
+}
+
+// AddRecordEvent wraps a new source record as a typed event.
+func AddRecordEvent(r data.Record) Event {
+	return Event{Type: TypeAddRecord, V: Version, Object: r.Object, Source: r.Source, Value: r.Value}
+}
+
+// Validate checks the event is well-formed for appending. Replay uses the
+// same rules to classify lines (invalid lines are skipped, not fatal).
+func (e Event) Validate() error {
+	switch e.Type {
+	case TypeAnswer, "":
+		if e.Object == "" || e.Worker == "" || e.Value == "" {
+			return fmt.Errorf("eventlog: answer event with empty field")
+		}
+	case TypeAddObject:
+		if e.Object == "" || len(e.Candidates) == 0 {
+			return fmt.Errorf("eventlog: add_object event needs an object and candidates")
+		}
+		for _, c := range e.Candidates {
+			if c == "" {
+				return fmt.Errorf("eventlog: add_object event with empty candidate")
+			}
+		}
+	case TypeAddRecord:
+		if e.Object == "" || e.Source == "" || e.Value == "" {
+			return fmt.Errorf("eventlog: add_record event with empty field")
+		}
+	default:
+		return fmt.Errorf("eventlog: unknown event type %q", e.Type)
+	}
+	if e.V > Version {
+		return fmt.Errorf("eventlog: event version %d newer than %d", e.V, Version)
+	}
+	return nil
+}
+
+// Answer extracts the answer payload of an answer (or legacy) event.
+func (e Event) Answer() data.Answer {
+	return data.Answer{Object: e.Object, Worker: e.Worker, Value: e.Value}
+}
+
+// Record extracts the record payload of an add_record event.
+func (e Event) Record() data.Record {
+	return data.Record{Object: e.Object, Source: e.Source, Value: e.Value}
+}

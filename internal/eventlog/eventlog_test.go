@@ -1,0 +1,189 @@
+package eventlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestMixedVersionReplay is the upgrade-in-place pin: a legacy answers.jsonl
+// of bare answer lines, extended by typed v1 events appended after it,
+// replays as one log — answers, records and object adds applied in order,
+// malformed and over-long lines counted and skipped, duplicates dropped.
+func TestMixedVersionReplay(t *testing.T) {
+	legacy := strings.Join([]string{
+		`{"object":"o1","worker":"w1","value":"a"}`,
+		`{"object":"o2","worker":"w1","value":"b"}`,
+		`this line is not JSON`,
+		`{"object":"o1","worker":"w1","value":"a"}`, // duplicate (worker, object)
+	}, "\n") + "\n"
+	typed := strings.Join([]string{
+		`{"type":"answer","v":1,"object":"o3","worker":"w2","value":"c"}`,
+		`{"type":"add_object","v":1,"object":"o4","candidates":["x","y"]}`,
+		`{"type":"add_object","v":1,"object":"o4","candidates":["y"]}`, // no-op merge
+		`{"type":"add_record","v":1,"object":"o4","source":"s1","value":"x"}`,
+		`{"type":"add_record","v":1,"object":"o4","source":"s1","value":"y"}`, // dup (object, source)
+		`{"type":"wormhole","v":1,"object":"o9"}`,                             // unknown type
+		`{"type":"answer","v":99,"object":"o9","worker":"w9","value":"z"}`,    // future version
+		`{"object":"","worker":"w","value":"v"}`,                              // invalid legacy line
+	}, "\n") + "\n"
+	overlong := `{"object":"` + strings.Repeat("x", maxLineBytes+10) + `","worker":"w","value":"v"}` + "\n"
+
+	ds := &data.Dataset{}
+	res, err := ReplayFrom(strings.NewReader(legacy+overlong+typed), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReplayResult{Answers: 3, Records: 1, Objects: 1, Skipped: 5, Duplicates: 3}
+	if res != want {
+		t.Fatalf("replay = %+v, want %+v", res, want)
+	}
+	if len(ds.Answers) != 3 || ds.Answers[2] != (data.Answer{Object: "o3", Worker: "w2", Value: "c"}) {
+		t.Fatalf("answers = %+v", ds.Answers)
+	}
+	if len(ds.Records) != 1 || ds.Records[0] != (data.Record{Object: "o4", Source: "s1", Value: "x"}) {
+		t.Fatalf("records = %+v", ds.Records)
+	}
+	if !reflect.DeepEqual(ds.Candidates, map[string][]string{"o4": {"x", "y"}}) {
+		t.Fatalf("candidates = %+v", ds.Candidates)
+	}
+}
+
+// TestReplayDedupsAgainstDataset: events already present in the seed
+// dataset (e.g. recovered once before) are duplicates, not double counts.
+func TestReplayDedupsAgainstDataset(t *testing.T) {
+	ds := &data.Dataset{
+		Answers: []data.Answer{{Object: "o1", Worker: "w1", Value: "a"}},
+		Records: []data.Record{{Object: "o1", Source: "s1", Value: "a"}},
+	}
+	log := `{"object":"o1","worker":"w1","value":"a"}` + "\n" +
+		`{"type":"add_record","v":1,"object":"o1","source":"s1","value":"b"}` + "\n"
+	res, err := ReplayFrom(strings.NewReader(log), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicates != 2 || res.Answers != 0 || res.Records != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+	if len(ds.Answers) != 1 || len(ds.Records) != 1 {
+		t.Fatal("dataset grew on duplicates")
+	}
+}
+
+// TestAppendReplayRoundTrip drives the log through concurrent typed appends
+// of every kind and checks a full-fidelity replay, including on a file that
+// started with legacy lines (upgrade in place).
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	// Seed the file with a legacy bare answer line, as answerlog wrote it.
+	if err := os.WriteFile(path, []byte(`{"object":"old","worker":"w0","value":"v"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, 3*n)
+	for i := 0; i < n; i++ {
+		wg.Add(3)
+		go func(i int) {
+			defer wg.Done()
+			errs[3*i] = l.Append(data.Answer{Object: fmt.Sprintf("o%d", i), Worker: "w", Value: "v"})
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			errs[3*i+1] = l.AppendAddObject(fmt.Sprintf("new%d", i), []string{"a", "b"})
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			errs[3*i+2] = l.AppendAddRecord(data.Record{Object: fmt.Sprintf("o%d", i), Source: "s", Value: "v"})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Count(); got != 3*n {
+		t.Fatalf("Count = %d, want %d", got, 3*n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds := &data.Dataset{}
+	res, err := Replay(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != n+1 || res.Records != n || res.Objects != n || res.Skipped != 0 || res.Duplicates != 0 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+// TestReplayTornFinalLine: a crash mid-append leaves a torn last line that
+// is skipped, and everything before it survives.
+func TestReplayTornFinalLine(t *testing.T) {
+	log := `{"type":"add_object","v":1,"object":"o1","candidates":["a"]}` + "\n" +
+		`{"type":"answer","v":1,"object":"o1","wor` // torn
+	ds := &data.Dataset{}
+	res, err := ReplayFrom(strings.NewReader(log), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objects != 1 || res.Skipped != 1 {
+		t.Fatalf("replay = %+v", res)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	ds := &data.Dataset{}
+	res, err := Replay(filepath.Join(t.TempDir(), "absent.jsonl"), ds)
+	if err != nil || res != (ReplayResult{}) {
+		t.Fatalf("replay = %+v, %v", res, err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(data.Answer{Object: "o"}); err == nil {
+		t.Fatal("empty-field answer accepted")
+	}
+	if err := l.AppendAddObject("o", nil); err == nil {
+		t.Fatal("add_object without candidates accepted")
+	}
+	if err := l.AppendAddRecord(data.Record{Object: "o", Source: "s"}); err == nil {
+		t.Fatal("empty-value record accepted")
+	}
+	if err := l.AppendEvent(Event{Type: "mystery", Object: "o"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if l.Count() != 0 {
+		t.Fatal("invalid events counted")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	l, err := Open(filepath.Join(t.TempDir(), "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(data.Answer{Object: "o", Worker: "w", Value: "v"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

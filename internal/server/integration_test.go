@@ -6,9 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/answerlog"
 	"repro/internal/assign"
 	"repro/internal/data"
+	"repro/internal/eventlog"
 	"repro/internal/infer"
 	"repro/internal/synth"
 )
@@ -22,7 +22,7 @@ func TestDurableCampaignRecovery(t *testing.T) {
 	ds := synth.Heritages(synth.HeritagesConfig{Seed: 41, Scale: 0.05})
 
 	// First server instance: accept a few answers through the log.
-	log1, err := answerlog.Open(logPath)
+	log1, err := eventlog.Open(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +56,14 @@ func TestDurableCampaignRecovery(t *testing.T) {
 
 	// "Crash". Second instance: replay the log into a fresh dataset copy.
 	ds2 := synth.Heritages(synth.HeritagesConfig{Seed: 41, Scale: 0.05})
-	res, err := answerlog.Replay(logPath, ds2)
+	res, err := eventlog.Replay(logPath, ds2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Answers != len(accepted) {
 		t.Fatalf("recovered %d answers, want %d", res.Answers, len(accepted))
 	}
-	log2, err := answerlog.Open(logPath)
+	log2, err := eventlog.Open(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,6 +65,21 @@ type refreshReq struct {
 	done chan *Snapshot
 }
 
+// ingestItem is one accepted unit of campaign growth queued for the
+// pipeline: a crowd answer, or a dataset mutation (object / record add).
+type ingestItem struct {
+	answer data.Answer // valid when mut is nil
+	mut    *mutation
+}
+
+// mutation is an accepted open-world dataset mutation. Exactly one of
+// record / candidates is set.
+type mutation struct {
+	object     string
+	candidates []string     // add_object: seeded candidate values
+	record     *data.Record // add_record
+}
+
 // pipeline is the state owned exclusively by the inference goroutine. No
 // lock protects it: handlers communicate with it only through channels and
 // read only the published snapshots.
@@ -79,7 +94,8 @@ type pipeline struct {
 
 	round      int64
 	applied    int // answers folded into the published snapshot
-	sinceRefit int // answers since the last full refit
+	mutApplied int // dataset mutations folded into the published snapshot
+	sinceRefit int // answers + mutations since the last full refit
 	staleSince time.Time
 }
 
@@ -90,7 +106,7 @@ type pipeline struct {
 // reads. Full refits — already slow, already off the request path —
 // prewarm it eagerly so the common cold start serves instantly.
 func (p *pipeline) publish() {
-	sn := &Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied}
+	sn := &Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied, Mutations: p.mutApplied}
 	p.s.current.Store(sn)
 	if p.sinceRefit == 0 {
 		sn.Plan().Prewarm()
@@ -113,29 +129,45 @@ func (p *pipeline) fullRefit() {
 // full refit).
 func (p *pipeline) ingest(batch []data.Answer) {
 	p.work.Answers = append(p.work.Answers, batch...)
-	if p.sinceRefit == 0 {
-		p.staleSince = time.Now()
-	}
-	p.sinceRefit += len(batch)
+	p.markDirty(len(batch))
 	p.applied += len(batch)
 }
 
-// applyBatch folds accepted answers into the dataset and — when the
-// inferencer exposes a core.Model — into a clone of the live model with one
-// incremental EM step per answer, publishing the updated confidences. For
-// other inferencers the answers only extend the dataset; their effect on
-// the result waits for the next policy-triggered refit.
-func (p *pipeline) applyBatch(batch []data.Answer) {
+// markDirty advances the refit-policy counters by n accepted units.
+func (p *pipeline) markDirty(n int) {
+	if n == 0 {
+		return
+	}
+	if p.sinceRefit == 0 {
+		p.staleSince = time.Now()
+	}
+	p.sinceRefit += n
+}
+
+// applyBatch folds a drained batch into the campaign state and publishes
+// one snapshot covering all of it. Mutations first: they extend the index
+// (data.Index.Extend) and grow the model (core.Model.Grow) so the batch's
+// answers — and every /task after the publish — already see the new
+// objects. Answers then update a clone of the live model with one
+// incremental EM step each. For inferencers that expose no core.Model the
+// additions only extend the dataset and the counters; their effect on the
+// result waits for the next policy-triggered refit.
+func (p *pipeline) applyBatch(batch []ingestItem) {
 	if len(batch) == 0 {
 		return
 	}
-	p.ingest(batch)
-	if p.model == nil {
-		p.publish() // stale confidences, fresh answer count
+	answers, muts := splitBatch(batch)
+	p.applyMutations(muts)
+	p.ingest(answers)
+	if p.model == nil || len(answers) == 0 {
+		// No incremental answer pass: either the inferencer exposes no model
+		// (stale confidences, fresh counters) or the batch was mutations
+		// only, whose grown model and result applyMutations already set.
+		p.publish()
 		return
 	}
 	m := p.model.Clone()
-	for _, a := range batch {
+	for _, a := range answers {
 		ov := p.idx.View(a.Object)
 		if ov == nil {
 			continue // object unknown to the current index; refit will pick it up
@@ -149,6 +181,52 @@ func (p *pipeline) applyBatch(batch []data.Answer) {
 	p.model = m
 	p.res = infer.ResultFromModel(m)
 	p.publish()
+}
+
+// applyMutations folds accepted dataset mutations into the working dataset
+// and the live index/model. The extension is in-place cheap: untouched
+// per-object state is shared with the previous index, only the objects the
+// batch touches get their candidate sets and tables rebuilt, and the grown
+// model seeds the new entries so the EAI planner's cold-object path starts
+// assigning them at the very next publish. Mutations count toward the refit
+// policy like answers, so a growth burst still converges with a full EM.
+func (p *pipeline) applyMutations(muts []*mutation) {
+	if len(muts) == 0 {
+		return
+	}
+	mu := p.stageMutations(muts)
+	idx, touched := p.idx.Extend(p.work, mu)
+	p.idx = idx
+	if p.model != nil {
+		p.model = p.model.Grow(idx, touched)
+		p.res = infer.ResultFromModel(p.model)
+	}
+}
+
+// stageMutations appends accepted mutations to the working dataset and the
+// counters, returning them in data.Mutation form. Callers either Extend the
+// live index with the result (applyMutations) or let an imminent full refit
+// absorb them (the refresh path).
+func (p *pipeline) stageMutations(muts []*mutation) data.Mutation {
+	mu := data.Mutation{}
+	for _, m := range muts {
+		if m.record != nil {
+			p.work.Records = append(p.work.Records, *m.record)
+			mu.Records = append(mu.Records, *m.record)
+			continue
+		}
+		if p.work.Candidates == nil {
+			p.work.Candidates = map[string][]string{}
+		}
+		p.work.Candidates[m.object] = append(p.work.Candidates[m.object], m.candidates...)
+		if mu.Candidates == nil {
+			mu.Candidates = map[string][]string{}
+		}
+		mu.Candidates[m.object] = append(mu.Candidates[m.object], m.candidates...)
+	}
+	p.markDirty(len(muts))
+	p.mutApplied += len(muts)
+	return mu
 }
 
 // shouldRefit applies the count/staleness policy.
@@ -165,15 +243,28 @@ func (p *pipeline) shouldRefit(now time.Time) bool {
 	return false
 }
 
+// splitBatch partitions a drained ingest batch into its answers and its
+// dataset mutations, preserving arrival order within each kind.
+func splitBatch(batch []ingestItem) (answers []data.Answer, muts []*mutation) {
+	for _, it := range batch {
+		if it.mut != nil {
+			muts = append(muts, it.mut)
+		} else {
+			answers = append(answers, it.answer)
+		}
+	}
+	return answers, muts
+}
+
 // drainQueued moves everything currently buffered on the ingest channel
 // into a batch, without blocking, up to the configured batch size (0 = no
 // cap, used during refresh and shutdown).
-func (p *pipeline) drainQueued(first []data.Answer, limit int) []data.Answer {
+func (p *pipeline) drainQueued(first []ingestItem, limit int) []ingestItem {
 	batch := first
 	for limit <= 0 || len(batch) < limit {
 		select {
-		case a := <-p.s.ingestCh:
-			batch = append(batch, a)
+		case it := <-p.s.ingestCh:
+			batch = append(batch, it)
 		default:
 			return batch
 		}
@@ -189,15 +280,21 @@ func (p *pipeline) loop() {
 	defer tick.Stop()
 	for {
 		select {
-		case a := <-p.s.ingestCh:
-			p.applyBatch(p.drainQueued([]data.Answer{a}, p.policy.BatchSize))
+		case it := <-p.s.ingestCh:
+			p.applyBatch(p.drainQueued([]ingestItem{it}, p.policy.BatchSize))
 			if p.shouldRefit(time.Now()) {
 				p.fullRefit()
 			}
 		case req := <-p.s.refreshCh:
-			// No incremental pass here: the refit recomputes everything the
-			// drained answers would have contributed.
-			p.ingest(p.drainQueued(nil, 0))
+			// No incremental answer pass here: the refit recomputes
+			// everything the drained answers would have contributed.
+			// Mutations still extend the working dataset first so the refit
+			// covers them.
+			answers, muts := splitBatch(p.drainQueued(nil, 0))
+			if len(muts) > 0 {
+				p.stageMutations(muts) // the refit below absorbs them
+			}
+			p.ingest(answers)
 			p.fullRefit()
 			req.done <- p.s.snap()
 		case <-tick.C:

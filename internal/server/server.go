@@ -7,6 +7,8 @@
 //
 //	GET  /task?worker=ID      fetch up to K assigned questions for a worker
 //	POST /answer              submit {"worker","object","value"}
+//	POST /objects             add an object with seeded candidates (open world)
+//	POST /records             add a source record (open world)
 //	GET  /truths              current inferred truths
 //	GET  /confidence?object=O confidence distribution of one object
 //	GET  /trust               per-source and per-worker trust estimates
@@ -19,8 +21,13 @@
 // pending state, appends to the durable answer log, and enqueues the answer
 // for the background inference pipeline (see pipeline.go), which folds
 // batches in with incremental EM and debounces full refits per RefitPolicy.
-// An optional append-only answer log makes campaigns durable across
-// restarts (see internal/answerlog).
+// The campaign is open-world: POST /objects and /records append typed
+// mutation events the same way and the pipeline folds them into the next
+// published snapshot by extending the index (data.Index.Extend) and growing
+// the model (core.Model.Grow) in place of a full rebuild. An optional
+// append-only event log makes campaigns — answers and dataset growth alike
+// — durable across restarts (see internal/eventlog; logs written by its
+// answers-only ancestor replay unchanged).
 package server
 
 import (
@@ -45,6 +52,13 @@ type AnswerSink interface {
 	Append(a data.Answer) error
 }
 
+// MutationSink receives accepted dataset mutations for durable storage
+// before they are acknowledged (implemented by eventlog.Log).
+type MutationSink interface {
+	AppendAddObject(object string, candidates []string) error
+	AppendAddRecord(r data.Record) error
+}
+
 // Config wires a Server.
 type Config struct {
 	Dataset    *data.Dataset
@@ -56,6 +70,10 @@ type Config struct {
 	// Log, when non-nil, receives every accepted answer before it is
 	// acknowledged.
 	Log AnswerSink
+	// Mutations, when non-nil, receives every accepted dataset mutation
+	// (POST /objects, POST /records) before it is acknowledged. Without it
+	// the campaign still grows, just not durably.
+	Mutations MutationSink
 	// Seed drives the assigner's sampling.
 	Seed int64
 	// Policy tunes the inference pipeline (zero value = defaults).
@@ -79,7 +97,22 @@ type Server struct {
 	acceptedMu   sync.Mutex
 	acceptedList []data.Answer
 
-	ingestCh  chan data.Answer
+	// Accepted open-world mutations: reservation state that gives concurrent
+	// duplicate submissions a deterministic 409 while the winner is still in
+	// flight toward its snapshot, plus counters for /stats. Entries are kept
+	// for the server's lifetime — they are exactly the additions this
+	// instance accepted, the in-memory complement of the snapshot state.
+	// addedObjects is a refcount, not a set: every accepted creator of an
+	// object (its POST /objects, each POST /records claiming it) holds one
+	// reference, so a failed log append releases only its own reference and
+	// never un-reserves a name other accepted requests still depend on.
+	mutMu        sync.Mutex
+	addedObjects map[string]int     // object name -> accepted creator count
+	addedClaims  map[[2]string]bool // (object, source) added via POST /records
+	objectCount  int                // accepted POST /objects
+	recordCount  int                // accepted POST /records
+
+	ingestCh  chan ingestItem
 	refreshCh chan refreshReq
 	quitCh    chan struct{}
 	doneCh    chan struct{}
@@ -120,12 +153,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg.Policy = cfg.Policy.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		workers:   newWorkerState(),
-		ingestCh:  make(chan data.Answer, cfg.Policy.QueueSize),
-		refreshCh: make(chan refreshReq),
-		quitCh:    make(chan struct{}),
-		doneCh:    make(chan struct{}),
+		cfg:          cfg,
+		workers:      newWorkerState(),
+		addedObjects: map[string]int{},
+		addedClaims:  map[[2]string]bool{},
+		ingestCh:     make(chan ingestItem, cfg.Policy.QueueSize),
+		refreshCh:    make(chan refreshReq),
+		quitCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
 	}
 	// Seed the answered-sets from answers already in the dataset (e.g.
 	// recovered from an answer log), so replayed answers cannot be
@@ -175,6 +210,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /task", s.handleTask)
 	mux.HandleFunc("POST /answer", s.handleAnswer)
+	mux.HandleFunc("POST /objects", s.handleAddObject)
+	mux.HandleFunc("POST /records", s.handleAddRecord)
 	mux.HandleFunc("GET /truths", s.handleTruths)
 	mux.HandleFunc("GET /confidence", s.handleConfidence)
 	mux.HandleFunc("GET /trust", s.handleTrust)
@@ -350,8 +387,178 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// Enqueue for the inference pipeline; a full queue applies backpressure.
 	// The pipeline keeps draining until Close has waited out every in-flight
 	// accept (beginIngest/ingestWG), so this send cannot block forever.
-	s.ingestCh <- a
+	s.ingestCh <- ingestItem{answer: a}
 	writeJSON(w, map[string]any{"accepted": true, "answers": n})
+}
+
+// AddObjectRequest is the POST /objects body: a new object with its seeded
+// candidate value set, so workers can be asked about it before any source
+// has claimed it.
+type AddObjectRequest struct {
+	Object     string   `json:"object"`
+	Candidates []string `json:"candidates"`
+}
+
+// handleAddObject ingests a new object into the live campaign. The object
+// and its candidates are validated against the current snapshot, made
+// durable, and folded into the next published snapshot, from which /task
+// starts assigning the object (the EAI cold-object path ranks it high: no
+// answers means maximal expected information).
+func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
+	var req AddObjectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Object == "" || len(req.Candidates) == 0 {
+		httpError(w, http.StatusBadRequest, "object and at least one candidate are required")
+		return
+	}
+	cands := dedupStrings(req.Candidates)
+	for _, c := range cands {
+		if c == "" {
+			httpError(w, http.StatusBadRequest, "empty candidate value")
+			return
+		}
+		if err := s.checkHierarchyValue(c); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+	}
+	if !s.beginIngest() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer s.ingestWG.Done()
+	snap := s.snap()
+
+	// Reserve the object name — concurrent duplicates race on this
+	// reservation, not on the log I/O below. The snapshot covers everything
+	// durable from before this instance; the reservation set covers what
+	// this instance accepted but has not yet published.
+	s.mutMu.Lock()
+	if snap.Idx.View(req.Object) != nil || s.addedObjects[req.Object] > 0 {
+		s.mutMu.Unlock()
+		httpError(w, http.StatusConflict, fmt.Sprintf("object %q already exists", req.Object))
+		return
+	}
+	s.addedObjects[req.Object]++
+	s.mutMu.Unlock()
+
+	if s.cfg.Mutations != nil {
+		if err := s.cfg.Mutations.AppendAddObject(req.Object, cands); err != nil {
+			s.releaseObjectRef(req.Object)
+			httpError(w, http.StatusInternalServerError, "event log: "+err.Error())
+			return
+		}
+	}
+	s.mutMu.Lock()
+	s.objectCount++
+	n := s.objectCount
+	s.mutMu.Unlock()
+	s.ingestCh <- ingestItem{mut: &mutation{object: req.Object, candidates: cands}}
+	writeJSON(w, map[string]any{"accepted": true, "object": req.Object, "added_objects": n})
+}
+
+// handleAddRecord ingests a new source record. The object may be known or
+// brand new (records define objects, exactly as in a seed dataset); the
+// value must already exist in the value hierarchy — new-value hierarchy
+// nodes are out of scope for live growth.
+func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
+	var rec data.Record
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if rec.Object == "" || rec.Source == "" || rec.Value == "" {
+		httpError(w, http.StatusBadRequest, "object, source and value are required")
+		return
+	}
+	if err := s.checkHierarchyValue(rec.Value); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if !s.beginIngest() {
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	defer s.ingestWG.Done()
+	snap := s.snap()
+
+	key := [2]string{rec.Object, rec.Source}
+	s.mutMu.Lock()
+	if s.addedClaims[key] {
+		s.mutMu.Unlock()
+		httpError(w, http.StatusConflict,
+			fmt.Sprintf("source %q already claims object %q", rec.Source, rec.Object))
+		return
+	}
+	if ov := snap.Idx.View(rec.Object); ov != nil {
+		if _, dup := ov.SourceClaim(rec.Source); dup {
+			s.mutMu.Unlock()
+			httpError(w, http.StatusConflict,
+				fmt.Sprintf("source %q already claims object %q", rec.Source, rec.Object))
+			return
+		}
+	}
+	s.addedClaims[key] = true
+	// A record implicitly creates its object; hold a reference on the name
+	// so a concurrent POST /objects for it 409s deterministically instead
+	// of depending on whether this record reached a snapshot yet.
+	s.addedObjects[rec.Object]++
+	s.mutMu.Unlock()
+
+	if s.cfg.Mutations != nil {
+		if err := s.cfg.Mutations.AppendAddRecord(rec); err != nil {
+			s.mutMu.Lock()
+			delete(s.addedClaims, key)
+			s.mutMu.Unlock()
+			s.releaseObjectRef(rec.Object)
+			httpError(w, http.StatusInternalServerError, "event log: "+err.Error())
+			return
+		}
+	}
+	s.mutMu.Lock()
+	s.recordCount++
+	n := s.recordCount
+	s.mutMu.Unlock()
+	s.ingestCh <- ingestItem{mut: &mutation{object: rec.Object, record: &rec}}
+	writeJSON(w, map[string]any{"accepted": true, "object": rec.Object, "added_records": n})
+}
+
+// releaseObjectRef drops one accepted-creator reference on an object name
+// (the rollback of a failed durable append), deleting the entry when no
+// other accepted request holds it.
+func (s *Server) releaseObjectRef(object string) {
+	s.mutMu.Lock()
+	if s.addedObjects[object]--; s.addedObjects[object] <= 0 {
+		delete(s.addedObjects, object)
+	}
+	s.mutMu.Unlock()
+}
+
+// checkHierarchyValue enforces the open-world scoping rule: when the
+// campaign has a value hierarchy, every live-added candidate or record
+// value must already be a node in it. Campaigns without a hierarchy (flat
+// or free-text workloads) accept any value.
+func (s *Server) checkHierarchyValue(v string) error {
+	if h := s.cfg.Dataset.H; h != nil && !h.Contains(v) {
+		return fmt.Errorf("value %q is not in the hierarchy (new-value nodes cannot be added live)", v)
+	}
+	return nil
+}
+
+// dedupStrings drops duplicates, keeping first-seen order.
+func dedupStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request) {
@@ -396,16 +603,21 @@ type Stats struct {
 	Records int `json:"records"`
 	// Answers counts accepted crowd answers (immediately, including any
 	// still queued for inference); Applied counts answers folded into the
-	// snapshot the rest of this payload was computed from.
-	Answers     int     `json:"answers"`
-	Applied     int     `json:"applied_answers"`
-	Rounds      int64   `json:"inference_runs"`
-	Inference   string  `json:"inference"`
-	Assignment  string  `json:"assignment"`
-	Accuracy    float64 `json:"accuracy,omitempty"`
-	GenAccuracy float64 `json:"gen_accuracy,omitempty"`
-	AvgDistance float64 `json:"avg_distance,omitempty"`
-	HasGold     bool    `json:"has_gold"`
+	// snapshot the rest of this payload was computed from. AddedObjects /
+	// AddedRecords count accepted open-world mutations the same way, with
+	// AppliedMutations their folded-in counterpart.
+	Answers          int     `json:"answers"`
+	Applied          int     `json:"applied_answers"`
+	AddedObjects     int     `json:"added_objects,omitempty"`
+	AddedRecords     int     `json:"added_records,omitempty"`
+	AppliedMutations int     `json:"applied_mutations,omitempty"`
+	Rounds           int64   `json:"inference_runs"`
+	Inference        string  `json:"inference"`
+	Assignment       string  `json:"assignment"`
+	Accuracy         float64 `json:"accuracy,omitempty"`
+	GenAccuracy      float64 `json:"gen_accuracy,omitempty"`
+	AvgDistance      float64 `json:"avg_distance,omitempty"`
+	HasGold          bool    `json:"has_gold"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -424,15 +636,24 @@ func (s *Server) stats() Stats {
 	s.acceptedMu.Lock()
 	accepted := len(s.acceptedList)
 	s.acceptedMu.Unlock()
+	s.mutMu.Lock()
+	addedObjects, addedRecords := s.objectCount, s.recordCount
+	s.mutMu.Unlock()
 	st := Stats{
-		Objects:    snap.Idx.NumObjects(),
-		Records:    len(base.Records),
-		Answers:    accepted,
-		Applied:    snap.Answers,
-		Rounds:     snap.Round,
-		Inference:  s.cfg.Inferencer.Name(),
-		Assignment: s.cfg.Assigner.Name(),
-		HasGold:    len(base.Truth) > 0,
+		Objects: snap.Idx.NumObjects(),
+		// The base dataset is immutable; live additions are counted
+		// separately (the pipeline's working copy cannot be read here
+		// without racing it).
+		Records:          len(base.Records) + addedRecords,
+		Answers:          accepted,
+		Applied:          snap.Answers,
+		AddedObjects:     addedObjects,
+		AddedRecords:     addedRecords,
+		AppliedMutations: snap.Mutations,
+		Rounds:           snap.Round,
+		Inference:        s.cfg.Inferencer.Name(),
+		Assignment:       s.cfg.Assigner.Name(),
+		HasGold:          len(base.Truth) > 0,
 	}
 	if st.HasGold {
 		sc := eval.Evaluate(base, snap.Idx, snap.Res.Truths)

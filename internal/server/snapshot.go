@@ -32,6 +32,10 @@ type Snapshot struct {
 	// drains; answers recovered into the dataset before startup are part of
 	// the dataset itself, not this counter.
 	Answers int
+	// Mutations counts the open-world dataset mutations (object and record
+	// additions) folded into this snapshot, with the same trailing
+	// semantics as Answers.
+	Mutations int
 
 	planOnce sync.Once
 	plan     *assign.Plan
