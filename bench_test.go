@@ -25,6 +25,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/infer"
@@ -377,6 +378,54 @@ func BenchmarkServerThroughput(b *testing.B) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "answers/sec")
 		b.ReportMetric(float64(reads.Load())/secs, "reads/sec")
+	}
+}
+
+// BenchmarkNumericIngest measures a numeric campaign's answer ingest rate:
+// workers submit typed {"num": ...} payloads, every accepted batch re-runs
+// the CRH estimator over sources + worker pseudo-sources (numeric engines
+// have no incremental path by design — re-estimation IS the fold), and
+// reads keep serving the published estimates. The per-iteration answers/sec
+// is the numeric-truth-model counterpart of BenchmarkServerThroughput.
+func BenchmarkNumericIngest(b *testing.B) {
+	attr := synth.Stock(synth.StockConfig{Seed: 7, Symbols: 300})[0]
+	ds := &data.Dataset{Name: "stock-" + attr.Name, Records: attr.Records, Truth: map[string]string{}}
+	for o, v := range attr.Gold {
+		ds.Truth[o] = fmt.Sprintf("%g", v)
+	}
+	eng, err := engine.New(engine.Numeric, "CRH", engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Dataset:     ds,
+		Engine:      eng,
+		Assigner:    assign.ME{},
+		OpenAnswers: true, // benchmark workers answer arbitrary objects
+		Policy:      server.RefitPolicy{MaxAnswers: 256, MaxStaleness: 50 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	objs := srv.SortedObjects()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := objs[i%len(objs)]
+		body := fmt.Sprintf(`{"worker":"bw-%d","object":%q,"num":%g}`,
+			i, o, attr.Gold[o]*(1+0.01*float64(i%7)))
+		req := httptest.NewRequest("POST", "/answer", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("answer %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "answers/sec")
 	}
 }
 

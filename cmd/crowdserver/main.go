@@ -35,9 +35,8 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/eventlog"
-	"repro/internal/experiments"
-	"repro/internal/infer"
 	"repro/internal/server"
 )
 
@@ -46,8 +45,9 @@ func main() {
 		in        = flag.String("in", "", "input dataset JSON (single-campaign mode)")
 		dataDir   = flag.String("data-dir", "", "campaign data directory (multi-campaign mode, v1 API)")
 		addr      = flag.String("addr", ":8080", "listen address")
-		alg       = flag.String("alg", "TDH", "inference algorithm (single-campaign mode)")
-		asgName   = flag.String("assign", "EAI", "task assignment algorithm: EAI, QASCA, ME, MB (single-campaign mode)")
+		model     = flag.String("model", "categorical", "truth model: categorical, numeric, multi_truth (single-campaign mode)")
+		alg       = flag.String("alg", "", "inference algorithm (default: the truth model's first) (single-campaign mode)")
+		asgName   = flag.String("assign", "", "task assignment algorithm (default: the truth model's first: EAI / ME) (single-campaign mode)")
 		k         = flag.Int("k", 5, "questions per task request (single-campaign mode)")
 		logPath   = flag.String("log", "", "append-only event log: answers + open-world mutations (single-campaign mode durability)")
 		seed      = flag.Int64("seed", 7, "random seed for sampling assigners (single-campaign mode)")
@@ -83,7 +83,7 @@ func main() {
 		fmt.Printf("crowdserver: hosting %d campaigns from %s, listening on %s\n", n, *dataDir, *addr)
 		handler, closer = mgr.Handler(), mgr
 	} else {
-		srv, cl, err := singleCampaign(*in, *alg, *asgName, *k, *logPath, *seed, *workers, server.RefitPolicy{
+		srv, cl, err := singleCampaign(*in, *model, *alg, *asgName, *k, *logPath, *seed, *workers, server.RefitPolicy{
 			MaxAnswers:   *refitN,
 			MaxStaleness: *refitAge,
 			BatchSize:    *batch,
@@ -130,27 +130,34 @@ func (f closeFunc) Close() error { return f() }
 // compatibility path: the same flags and root-level endpoints as before
 // multi-campaign hosting). The returned closer drains the server into a
 // final snapshot, then closes the event log.
-func singleCampaign(in, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool) (*server.Server, io.Closer, error) {
+func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool) (*server.Server, io.Closer, error) {
 	ds, err := data.LoadFile(in)
 	if err != nil {
 		return nil, nil, err
 	}
-	inferencer, ok := experiments.InferencerByName(alg)
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+	tm, err := engine.ParseTruthModel(model)
+	if err != nil {
+		return nil, nil, err
 	}
-	// Full refits run off the request path; give TDH the parallel E-step.
-	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
-		tdh.Opt.Workers = workers
-		inferencer = tdh
+	if alg == "" {
+		alg = engine.DefaultInferencer(tm)
 	}
-	assigner, ok := experiments.AssignerByName(asgName)
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown assigner %q", asgName)
+	if asgName == "" {
+		asgName = engine.DefaultAssigner(tm)
+	}
+	// Engine construction owns model-specific wiring, including TDH's
+	// parallel E-step (full refits run off the request path).
+	eng, err := engine.New(tm, alg, engine.Config{Workers: workers, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	assigner, err := engine.NewAssigner(tm, asgName)
+	if err != nil {
+		return nil, nil, err
 	}
 	cfg := server.Config{
 		Dataset:     ds,
-		Inferencer:  inferencer,
+		Engine:      eng,
 		Assigner:    assigner,
 		K:           k,
 		Seed:        seed,
@@ -182,7 +189,7 @@ func singleCampaign(in, alg, asgName string, k int, logPath string, seed int64, 
 		}
 		return nil, nil, err
 	}
-	fmt.Printf("crowdserver: %s+%s over %d objects\n", inferencer.Name(), assigner.Name(), len(ds.Objects()))
+	fmt.Printf("crowdserver: %s %s+%s over %d objects\n", tm, eng.Name(), assigner.Name(), len(ds.Objects()))
 	return srv, closeFunc(func() error {
 		err := srv.Close()
 		if l != nil {

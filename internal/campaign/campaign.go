@@ -47,9 +47,8 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/eventlog"
-	"repro/internal/experiments"
-	"repro/internal/infer"
 	"repro/internal/server"
 )
 
@@ -93,9 +92,14 @@ func (p PolicySpec) refitPolicy() server.RefitPolicy {
 // Meta is the persisted identity, configuration and lifecycle state of a
 // campaign (campaign.json).
 type Meta struct {
-	ID          string     `json:"id"`
-	Name        string     `json:"name,omitempty"`
-	State       State      `json:"state"`
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	State State  `json:"state"`
+	// TruthModel is the campaign's truth-model engine (categorical /
+	// numeric / multi_truth). Absent in campaign.json files from before
+	// truth models existed; readMeta normalizes the empty value to
+	// categorical so existing data directories boot unchanged.
+	TruthModel  string     `json:"truth_model,omitempty"`
 	Inferencer  string     `json:"inferencer"`
 	Assigner    string     `json:"assigner"`
 	K           int        `json:"k"`
@@ -179,23 +183,25 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 	if err != nil {
 		return fmt.Errorf("campaign %s: replay: %w", c.meta.ID, err)
 	}
-	inferencer, ok := experiments.InferencerByName(c.meta.Inferencer)
-	if !ok {
-		return fmt.Errorf("campaign %s: unknown inferencer %q", c.meta.ID, c.meta.Inferencer)
+	// Engine construction owns all model-specific wiring — including TDH's
+	// E-step parallelism, which used to be a type-assertion special case
+	// here. Unknown names surface as ErrConfig (HTTP 422), not as an opaque
+	// boot error.
+	tm, err := engine.ParseTruthModel(c.meta.TruthModel)
+	if err != nil {
+		return fmt.Errorf("campaign %s: %w: %v", c.meta.ID, ErrConfig, err)
 	}
-	// Full refits run off the request path; give TDH the configured E-step
-	// parallelism.
-	if tdh, isTDH := inferencer.(infer.TDH); isTDH {
-		tdh.Opt.Workers = opts.Workers
-		inferencer = tdh
+	eng, err := engine.New(tm, c.meta.Inferencer, engine.Config{Workers: opts.Workers, Seed: c.meta.Seed})
+	if err != nil {
+		return fmt.Errorf("campaign %s: %w: %v", c.meta.ID, ErrConfig, err)
 	}
-	assigner, ok := experiments.AssignerByName(c.meta.Assigner)
-	if !ok {
-		return fmt.Errorf("campaign %s: unknown assigner %q", c.meta.ID, c.meta.Assigner)
+	assigner, err := engine.NewAssigner(tm, c.meta.Assigner)
+	if err != nil {
+		return fmt.Errorf("campaign %s: %w: %v", c.meta.ID, ErrConfig, err)
 	}
 	cfg := server.Config{
 		Dataset:     ds,
-		Inferencer:  inferencer,
+		Engine:      eng,
 		Assigner:    assigner,
 		K:           c.meta.K,
 		Seed:        c.meta.Seed,
@@ -276,6 +282,10 @@ func readMeta(dir string) (Meta, error) {
 	}
 	if !meta.State.valid() {
 		return meta, fmt.Errorf("campaign: %s: invalid state %q", metaFile, meta.State)
+	}
+	if meta.TruthModel == "" {
+		// Pre-truth-model campaign.json: the only model that existed.
+		meta.TruthModel = string(engine.Categorical)
 	}
 	return meta, nil
 }

@@ -8,13 +8,14 @@ import (
 	"net/http"
 
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/eventlog"
 	"repro/internal/server"
 )
 
 // The v1 multi-campaign API. Admin plane:
 //
-//	GET    /v1/campaigns               list campaigns, sorted by id (?state= filters)
+//	GET    /v1/campaigns               list campaigns, sorted by id (?state= and ?truth_model= filter)
 //	POST   /v1/campaigns               create a campaign (spec + dataset)
 //	GET    /v1/campaigns/{id}          one campaign's detail
 //	DELETE /v1/campaigns/{id}          delete a closed or draft campaign (409 otherwise)
@@ -109,10 +110,22 @@ func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var modelFilter engine.TruthModel
+	if q := r.URL.Query().Get("truth_model"); q != "" {
+		tm, err := engine.ParseTruthModel(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		modelFilter = tm
+	}
 	campaigns := m.Campaigns() // sorted by id: list order is deterministic
 	out := make([]Info, 0, len(campaigns))
 	for _, c := range campaigns {
 		if filter != "" && c.State() != filter {
+			continue
+		}
+		if modelFilter != "" && c.Meta().TruthModel != string(modelFilter) {
 			continue
 		}
 		out = append(out, campaignInfo(c))
@@ -241,6 +254,8 @@ func statusFor(err error, fallback int) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrConfig):
+		return http.StatusUnprocessableEntity
 	}
 	return fallback
 }

@@ -178,8 +178,28 @@ func TestHTTPCreateAndList(t *testing.T) {
 		createBody(t, Spec{ID: "c3"}, StateClosed, testDataset("c3", 3))); rec.Code != 400 {
 		t.Fatalf("bad initial state: %d", rec.Code)
 	}
+	// Unknown config names are 422s that list the valid names for the
+	// campaign's truth model.
 	if rec := doReq(t, h, "POST", "/v1/campaigns",
-		createBody(t, Spec{ID: "c3", Inferencer: "NOPE"}, "", testDataset("c3", 3))); rec.Code != 400 {
+		createBody(t, Spec{ID: "c3", Inferencer: "NOPE"}, "", testDataset("c3", 3))); rec.Code != 422 {
 		t.Fatalf("unknown inferencer: %d", rec.Code)
+	} else if !strings.Contains(rec.Body.String(), "TDH") {
+		t.Fatalf("unknown inferencer body should list valid names: %s", rec.Body.String())
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "c3", Assigner: "NOPE"}, "", testDataset("c3", 3))); rec.Code != 422 {
+		t.Fatalf("unknown assigner: %d", rec.Code)
+	} else if !strings.Contains(rec.Body.String(), "EAI") {
+		t.Fatalf("unknown assigner body should list valid names: %s", rec.Body.String())
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "c3", TruthModel: "fuzzy"}, "", testDataset("c3", 3))); rec.Code != 422 {
+		t.Fatalf("unknown truth model: %d", rec.Code)
+	}
+	// EAI reads TDH model internals, so it is not a valid assigner for a
+	// numeric campaign.
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "c3", TruthModel: "numeric", Assigner: "EAI"}, "", testDataset("c3", 3))); rec.Code != 422 {
+		t.Fatalf("numeric+EAI: %d", rec.Code)
 	}
 }

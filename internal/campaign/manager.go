@@ -11,8 +11,8 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/eventlog"
-	"repro/internal/experiments"
 )
 
 const (
@@ -28,6 +28,10 @@ var (
 	ErrExists   = errors.New("campaign: already exists")
 	ErrState    = errors.New("campaign: invalid lifecycle transition")
 	ErrClosed   = errors.New("campaign: manager closed")
+	// ErrConfig marks an invalid campaign configuration — an unknown truth
+	// model, inferencer or assigner name — served as 422 with the valid
+	// names in the message.
+	ErrConfig = errors.New("campaign: invalid configuration")
 )
 
 var idPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]{0,63}$`)
@@ -42,10 +46,15 @@ type Options struct {
 
 // Spec is the per-campaign configuration fixed at creation time.
 type Spec struct {
-	ID          string     `json:"id"`
-	Name        string     `json:"name,omitempty"`
-	Inferencer  string     `json:"inferencer,omitempty"`   // default TDH
-	Assigner    string     `json:"assigner,omitempty"`     // default EAI
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// TruthModel selects the campaign's truth-model engine: categorical
+	// (default), numeric, or multi_truth. It fixes which inferencer and
+	// assigner names are valid and the wire shapes of /truths and
+	// /confidence.
+	TruthModel  string     `json:"truth_model,omitempty"`
+	Inferencer  string     `json:"inferencer,omitempty"`   // default: the model's first (TDH / CRH / LTM)
+	Assigner    string     `json:"assigner,omitempty"`     // default: the model's first (EAI / ME)
 	K           int        `json:"k,omitempty"`            // default 5
 	Seed        int64      `json:"seed,omitempty"`         // assigner sampling seed
 	OpenAnswers bool       `json:"open_answers,omitempty"` // accept unassigned answers
@@ -152,20 +161,28 @@ func (m *Manager) Create(spec Spec, ds *data.Dataset) (*Campaign, error) {
 	if !idPattern.MatchString(spec.ID) {
 		return nil, fmt.Errorf("campaign: invalid id %q (want %s)", spec.ID, idPattern)
 	}
+	// Config names are validated here, at create time, against the declared
+	// truth model's registry — an invalid combination is a 422 with the
+	// valid names, not a deferred boot failure.
+	tm, err := engine.ParseTruthModel(spec.TruthModel)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	spec.TruthModel = string(tm)
 	if spec.Inferencer == "" {
-		spec.Inferencer = "TDH"
+		spec.Inferencer = engine.DefaultInferencer(tm)
 	}
 	if spec.Assigner == "" {
-		spec.Assigner = "EAI"
+		spec.Assigner = engine.DefaultAssigner(tm)
 	}
 	if spec.K == 0 {
 		spec.K = 5
 	}
-	if _, ok := experiments.InferencerByName(spec.Inferencer); !ok {
-		return nil, fmt.Errorf("campaign: unknown inferencer %q", spec.Inferencer)
+	if _, err := engine.New(tm, spec.Inferencer, engine.Config{}); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	if _, ok := experiments.AssignerByName(spec.Assigner); !ok {
-		return nil, fmt.Errorf("campaign: unknown assigner %q", spec.Assigner)
+	if _, err := engine.NewAssigner(tm, spec.Assigner); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	if ds == nil {
 		return nil, errors.New("campaign: nil dataset")
@@ -217,6 +234,7 @@ func (m *Manager) Create(spec Spec, ds *data.Dataset) (*Campaign, error) {
 			ID:          spec.ID,
 			Name:        spec.Name,
 			State:       StateDraft,
+			TruthModel:  spec.TruthModel,
 			Inferencer:  spec.Inferencer,
 			Assigner:    spec.Assigner,
 			K:           spec.K,

@@ -17,11 +17,26 @@ type Record struct {
 	Value  string `json:"value"`
 }
 
-// Answer is a claim (o, w, v_o^w) collected from a crowd worker.
+// Answer is a claim (o, w, v_o^w) collected from a crowd worker. Value is
+// always the canonical single claim; campaigns running a non-categorical
+// truth model attach their typed payload alongside it:
+//
+//   - multi-truth campaigns set Values to the full answered value SET, with
+//     Value holding its primary (first) element so every single-truth
+//     consumer still sees exactly one claim per (object, worker);
+//   - numeric campaigns set Num to the parsed numeric payload, with Value
+//     holding its canonical decimal string.
 type Answer struct {
 	Object string `json:"object"`
 	Worker string `json:"worker"`
 	Value  string `json:"value"`
+	// Values is the multi-truth answer set (nil for single-truth answers).
+	// The index turns each extra value into an additional worker claim on
+	// the same object, which multi-truth discoverers read as one provider
+	// claiming a set.
+	Values []string `json:"values,omitempty"`
+	// Num is the typed numeric payload of a numeric-campaign answer.
+	Num *float64 `json:"num,omitempty"`
 }
 
 // Dataset bundles the inputs of the truth-discovery problem: source records,
@@ -166,7 +181,7 @@ func (d *Dataset) Scale(k int) *Dataset {
 			out.Records = append(out.Records, Record{r.Object + suf, r.Source + suf, r.Value})
 		}
 		for _, a := range d.Answers {
-			out.Answers = append(out.Answers, Answer{a.Object + suf, a.Worker + suf, a.Value})
+			out.Answers = append(out.Answers, Answer{Object: a.Object + suf, Worker: a.Worker + suf, Value: a.Value})
 		}
 		for o, t := range d.Truth {
 			out.Truth[o+suf] = t

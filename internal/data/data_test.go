@@ -32,7 +32,7 @@ func tinyDataset(t *testing.T) *Dataset {
 			{"bigben", "trip", "London"},
 		},
 		Answers: []Answer{
-			{"bigben", "emma", "London"},
+			{Object: "bigben", Worker: "emma", Value: "London"},
 		},
 		Truth:   map[string]string{"statue": "LibertyIsland", "bigben": "London"},
 		Domains: map[string]string{"statue": "USA", "bigben": "UK"},
@@ -63,7 +63,7 @@ func TestDatasetValidateErrors(t *testing.T) {
 		t.Fatal("empty object must fail validation")
 	}
 	ds = tinyDataset(t)
-	ds.Answers = append(ds.Answers, Answer{"o", "w", ""})
+	ds.Answers = append(ds.Answers, Answer{Object: "o", Worker: "w", Value: ""})
 	if err := ds.Validate(); err == nil {
 		t.Fatal("empty value must fail validation")
 	}
@@ -74,7 +74,7 @@ func TestClone(t *testing.T) {
 	c := ds.Clone()
 	c.Records[0].Value = "CHANGED"
 	c.Truth["statue"] = "CHANGED"
-	c.Answers = append(c.Answers, Answer{"statue", "w2", "NY"})
+	c.Answers = append(c.Answers, Answer{Object: "statue", Worker: "w2", Value: "NY"})
 	if ds.Records[0].Value == "CHANGED" || ds.Truth["statue"] == "CHANGED" {
 		t.Fatal("Clone must deep-copy records and truth")
 	}

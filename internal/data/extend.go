@@ -86,6 +86,7 @@ func (idx *Index) Extend(ds *Dataset, mu Mutation) (*Index, []int) {
 	for _, a := range ds.Answers {
 		if touchedNames[a.Object] {
 			perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
+			perObjVals[a.Object] = append(perObjVals[a.Object], a.Values...)
 			if _, ok := idx.workerID[a.Worker]; !ok {
 				newWorkers[a.Worker] = true
 			}
@@ -181,7 +182,8 @@ func (idx *Index) rebuildViews(touched []int, perObjVals map[string][]string) {
 		ov.ValueCount[vi]++
 	}
 	clear(seen)
-	for _, a := range ds.Answers {
+	for i := range ds.Answers {
+		a := &ds.Answers[i]
 		oid := idx.objectID[a.Object]
 		if !touchedSet[oid] {
 			continue
@@ -191,8 +193,7 @@ func (idx *Index) rebuildViews(touched []int, perObjVals map[string][]string) {
 			continue
 		}
 		seen[pair{oid, wid}] = true
-		ov := &idx.Views[oid]
-		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ov.CI.Pos[a.Value])})
+		appendAnswerClaims(&idx.Views[oid], wid, a)
 	}
 	for _, oid := range touched {
 		ov := &idx.Views[oid]

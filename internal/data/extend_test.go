@@ -32,9 +32,9 @@ func growthMutation() Mutation {
 		},
 		Answers: []Answer{
 			// New worker answering the new object.
-			{"tower", "newworker", "London"},
+			{Object: "tower", Worker: "newworker", Value: "London"},
 			// Existing worker answering an existing object.
-			{"statue", "emma", "NY"},
+			{Object: "statue", Worker: "emma", Value: "NY"},
 		},
 		Candidates: map[string][]string{
 			// Declared object with seeded candidates, no claims yet.

@@ -341,6 +341,7 @@ func NewIndex(ds *Dataset) *Index {
 	}
 	for _, a := range ds.Answers {
 		perObjVals[a.Object] = append(perObjVals[a.Object], a.Value)
+		perObjVals[a.Object] = append(perObjVals[a.Object], a.Values...)
 	}
 	for o, vals := range ds.Candidates {
 		perObjVals[o] = append(perObjVals[o], vals...)
@@ -397,15 +398,15 @@ func NewIndex(ds *Dataset) *Index {
 		ov.ValueCount[vi]++
 	}
 	clear(seen)
-	for _, a := range ds.Answers {
+	for i := range ds.Answers {
+		a := &ds.Answers[i]
 		oid := idx.objectID[a.Object]
 		wid := idx.workerID[a.Worker]
 		if seen[pair{oid, wid}] {
 			continue
 		}
 		seen[pair{oid, wid}] = true
-		ov := &idx.Views[oid]
-		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ov.CI.Pos[a.Value])})
+		appendAnswerClaims(&idx.Views[oid], wid, a)
 	}
 
 	for i := range idx.Views {
@@ -477,7 +478,42 @@ func internNames(n int, get func(int) string) []string {
 
 // sortClaims orders a claim slice by participant ID.
 func sortClaims(cs []Claim) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].Part < cs[j].Part })
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Part != cs[j].Part {
+			return cs[i].Part < cs[j].Part
+		}
+		// Multi-valued (multi-truth) answers put several claims under one
+		// worker; the value tie-break keeps their order deterministic.
+		return cs[i].Val < cs[j].Val
+	})
+}
+
+// appendAnswerClaims adds the worker's claim(s) for one answer: the primary
+// value plus, for a multi-valued (multi-truth) answer, one claim per
+// distinct extra value. Single-valued answers keep the exactly-one-claim-
+// per-(object, worker) invariant the categorical EM path relies on;
+// multi-claim workers only appear in multi-truth campaigns, whose
+// discoverers group a worker's claims back into one claimed set.
+func appendAnswerClaims(ov *ObjectView, wid int, a *Answer) {
+	primary := int32(ov.CI.Pos[a.Value])
+	ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), primary})
+	if len(a.Values) == 0 {
+		return
+	}
+	start := len(ov.WorkerClaims) - 1
+extras:
+	for _, v := range a.Values {
+		ci, ok := ov.CI.Pos[v]
+		if !ok {
+			continue // not interned for this object (cannot happen after NewIndex seeds candidates)
+		}
+		for _, c := range ov.WorkerClaims[start:] {
+			if c.Val == int32(ci) {
+				continue extras // duplicate within the answer set
+			}
+		}
+		ov.WorkerClaims = append(ov.WorkerClaims, Claim{int32(wid), int32(ci)})
+	}
 }
 
 // NumObjects returns |O|.

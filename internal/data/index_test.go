@@ -110,7 +110,7 @@ func TestIndexWorkerExtendsCandidates(t *testing.T) {
 	// A worker answer with a value no source claimed still becomes a
 	// candidate (tolerant indexing).
 	ds := tinyDataset(t)
-	ds.Answers = append(ds.Answers, Answer{"statue", "w9", "London"})
+	ds.Answers = append(ds.Answers, Answer{Object: "statue", Worker: "w9", Value: "London"})
 	idx := NewIndex(ds)
 	ov := idx.View("statue")
 	if _, ok := ov.CI.Pos["London"]; !ok {
@@ -119,6 +119,40 @@ func TestIndexWorkerExtendsCandidates(t *testing.T) {
 	// Its source count is zero.
 	if ov.ValueCount[ov.CI.Pos["London"]] != 0 {
 		t.Fatal("worker answers must not bump source ValueCount")
+	}
+}
+
+// TestIndexMultiValuedAnswerClaims: a typed multi-truth answer (Values)
+// contributes one worker claim per distinct claimed value, every element
+// joins the candidate set, and Extend-time rebuilds agree with NewIndex.
+func TestIndexMultiValuedAnswerClaims(t *testing.T) {
+	ds := tinyDataset(t)
+	ds.Answers = append(ds.Answers,
+		Answer{Object: "statue", Worker: "w9", Value: "NY", Values: []string{"NY", "USA", "NY"}})
+	idx := NewIndex(ds)
+	ov := idx.View("statue")
+	if len(ov.WorkerClaims) != 2 {
+		t.Fatalf("worker claims = %d, want 2 (NY + USA, dup dropped)", len(ov.WorkerClaims))
+	}
+	claimed := map[int32]bool{}
+	for _, c := range ov.WorkerClaims {
+		claimed[c.Val] = true
+	}
+	for _, v := range []string{"NY", "USA"} {
+		pos, ok := ov.CI.Pos[v]
+		if !ok {
+			t.Fatalf("set element %q must join the candidate set", v)
+		}
+		if !claimed[int32(pos)] {
+			t.Fatalf("no worker claim for set element %q", v)
+		}
+	}
+	// WorkerClaim (single-claim lookup) resolves to the canonical Value.
+	if got, ok := ov.WorkerClaim("w9"); !ok || got != ov.CI.Pos["NY"] {
+		t.Fatalf("WorkerClaim = (%d, %v), want canonical NY", got, ok)
+	}
+	if !idx.HasAnswered("w9", "statue") {
+		t.Fatal("HasAnswered must see the set answer")
 	}
 }
 

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/infer"
+)
+
+// categorical adapts any single-truth infer.Inferencer to the Engine
+// interface. When the inferencer is TDH its fitted *core.Model powers the
+// incremental answer fold (Section 4.2's one-step EM) and open-world growth
+// (core.Model.Grow); every other inferencer publishes stale confidences
+// between full refits, exactly as the server behaved before engines
+// existed. The extraction is pinned bit-for-bit by the server's 1e-9
+// equivalence suites.
+type categorical struct {
+	inf infer.Inferencer
+}
+
+// NewCategorical wraps a single-truth inferencer as an Engine. cfg.Workers
+// configures TDH's parallel E-step — the wiring that used to live as an
+// infer.TDH type-assertion special case in the campaign layer.
+func NewCategorical(inf infer.Inferencer, cfg Config) Engine {
+	if tdh, ok := inf.(infer.TDH); ok && cfg.Workers > 0 {
+		tdh.Opt.Workers = cfg.Workers
+		inf = tdh
+	}
+	return &categorical{inf: inf}
+}
+
+func (e *categorical) Model() TruthModel { return Categorical }
+func (e *categorical) Name() string      { return e.inf.Name() }
+
+// catState is a categorical round: the inference result plus, for TDH, the
+// model behind it.
+type catState struct {
+	res   *infer.Result
+	model *core.Model // nil for non-TDH inferencers
+}
+
+func (st *catState) Res() *infer.Result { return st.res }
+
+func (st *catState) Truths() any { return st.res.Truths }
+
+func (st *catState) Confidence(ov *data.ObjectView) any {
+	// A partial or custom inferencer may publish no confidence row for an
+	// object, or one shorter than its candidate list (e.g. the candidate set
+	// grew with an out-of-Vo answer since the result was computed). Missing
+	// mass reads as zero instead of panicking the handler.
+	conf := st.res.Confidence[ov.Object]
+	out := make(map[string]float64, len(ov.CI.Values))
+	for i, v := range ov.CI.Values {
+		c := 0.0
+		if i < len(conf) {
+			c = conf[i]
+		}
+		out[v] = c
+	}
+	return out
+}
+
+func (st *catState) Quality(ds *data.Dataset, idx *data.Index) map[string]float64 {
+	if len(ds.Truth) == 0 {
+		return nil
+	}
+	sc := eval.Evaluate(ds, idx, st.res.Truths)
+	return map[string]float64{
+		"accuracy":     sc.Accuracy,
+		"gen_accuracy": sc.GenAccuracy,
+		"avg_distance": sc.AvgDistance,
+	}
+}
+
+func (e *categorical) Fit(idx *data.Index) State {
+	res := e.inf.Infer(idx)
+	m, _ := res.Model.(*core.Model)
+	return &catState{res: res, model: m}
+}
+
+func (e *categorical) ApplyAnswers(st State, idx *data.Index, answers []data.Answer) (State, bool) {
+	cs := st.(*catState)
+	if cs.model == nil {
+		return st, false
+	}
+	m := cs.model.Clone()
+	for _, a := range answers {
+		ov := idx.View(a.Object)
+		if ov == nil {
+			continue // object unknown to the current index; refit will pick it up
+		}
+		ans, ok := ov.CI.Pos[a.Value]
+		if !ok {
+			continue // not a candidate under the current index
+		}
+		m.ApplyAnswer(a.Object, a.Worker, ans)
+	}
+	return &catState{res: infer.ResultFromModel(m), model: m}, true
+}
+
+func (e *categorical) Grow(st State, idx *data.Index, touched []int) (State, bool) {
+	cs := st.(*catState)
+	if cs.model == nil {
+		return st, false
+	}
+	m := cs.model.Grow(idx, touched)
+	return &catState{res: infer.ResultFromModel(m), model: m}, true
+}
+
+func (e *categorical) ValidateAnswer(ov *data.ObjectView, a *data.Answer) error {
+	if len(a.Values) > 0 {
+		return fmt.Errorf("categorical campaign takes a single value, not a value set")
+	}
+	if a.Num != nil {
+		return fmt.Errorf("categorical campaign takes a candidate value, not a number")
+	}
+	if _, ok := ov.CI.Pos[a.Value]; !ok {
+		return fmt.Errorf("value %q is not a candidate for %q", a.Value, a.Object)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package engine defines the pluggable truth-model abstraction that
+// decouples the crowdsourcing server and the campaign manager from any one
+// inference family. An Engine owns everything model-specific a live
+// campaign needs: fitting an index from scratch, folding freshly accepted
+// answers in incrementally, re-seeding after open-world index growth,
+// validating a worker answer's typed payload, and encoding truths /
+// confidence for the wire. Three engines ship:
+//
+//   - categorical: the paper's single-truth setting — TDH (hierarchy-aware
+//     EM with incremental updates and growth) and the Section 5.1 baselines;
+//   - numeric: continuous truths estimated by CRH / CATD / MEAN / MEDIAN /
+//     VOTE over source records and worker answers;
+//   - multi_truth: value-SET truths discovered by LTM / DART / LFC-MT.
+//
+// The server's pipeline, snapshot and handlers speak only this interface
+// (internal/server), and campaigns declare their truth model at create time
+// (internal/campaign). The registry (registry.go) maps per-model inferencer
+// and assigner names to constructors.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// TruthModel identifies one truth-model family.
+type TruthModel string
+
+const (
+	Categorical TruthModel = "categorical"
+	Numeric     TruthModel = "numeric"
+	MultiTruth  TruthModel = "multi_truth"
+)
+
+// ParseTruthModel maps the wire spelling to a TruthModel; the empty string
+// is categorical, so campaigns and configs from before truth models existed
+// keep their meaning.
+func ParseTruthModel(s string) (TruthModel, error) {
+	switch TruthModel(s) {
+	case "":
+		return Categorical, nil
+	case Categorical, Numeric, MultiTruth:
+		return TruthModel(s), nil
+	}
+	return "", fmt.Errorf("unknown truth model %q (valid: %s, %s, %s)",
+		s, Categorical, Numeric, MultiTruth)
+}
+
+// Config carries the model-independent knobs an engine constructor may use.
+type Config struct {
+	// Workers sets the parallel E-step fan-out for engines that support it
+	// (TDH); 0 or 1 runs single-threaded.
+	Workers int
+	// Seed drives any stochastic fitting the engine performs.
+	Seed int64
+}
+
+// State is one published inference round: immutable once returned by an
+// Engine method, so the server can hand it to concurrent readers without a
+// lock. Its wire encoders define the per-model /truths and /confidence
+// response shapes.
+type State interface {
+	// Res is the assigner-facing view — confidence rows shaped like the
+	// index, trust maps, and (when the engine has one) the fitted model —
+	// which is what assign.NewPlan and every Assigner consume. Never nil.
+	Res() *infer.Result
+	// Truths is the GET /truths payload: map[object]value (categorical),
+	// map[object]float64 (numeric), or map[object][]value (multi_truth).
+	Truths() any
+	// Confidence is the GET /confidence payload for one object view.
+	Confidence(ov *data.ObjectView) any
+	// Quality scores the state against the dataset's gold standard for
+	// /stats, keyed by metric name (e.g. accuracy, mae, f1). Nil when the
+	// dataset has no gold or the model defines no quality metric.
+	Quality(ds *data.Dataset, idx *data.Index) map[string]float64
+}
+
+// Engine is one truth-model implementation. All methods are called from a
+// single pipeline goroutine; implementations never mutate a State after
+// returning it (incremental updates clone first).
+type Engine interface {
+	// Model reports which truth-model family this engine implements.
+	Model() TruthModel
+	// Name is the configured inference algorithm's name (for /stats).
+	Name() string
+	// Fit runs full inference over the index.
+	Fit(idx *data.Index) State
+	// ApplyAnswers folds freshly accepted answers into a new State without
+	// a full refit. ok=false means the engine has no incremental path for
+	// its current state; the caller keeps publishing the old (stale) state
+	// and the answers wait for the next policy-triggered Fit. The answers
+	// are already appended to idx.DS when called.
+	ApplyAnswers(st State, idx *data.Index, answers []data.Answer) (State, bool)
+	// Grow re-seeds the state after the index was extended in place
+	// (data.Index.Extend) with the touched object IDs. Same ok contract as
+	// ApplyAnswers.
+	Grow(st State, idx *data.Index, touched []int) (State, bool)
+	// ValidateAnswer checks (and canonicalizes, in place) one worker
+	// answer's typed payload against the object's candidate view. The
+	// returned error text is served as the HTTP 422 body.
+	ValidateAnswer(ov *data.ObjectView, a *data.Answer) error
+}
+
+// normalize scales xs into a distribution in place; all-zero rows become
+// uniform (the same convention as internal/infer).
+func normalize(xs []float64) {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if s <= 0 {
+		if len(xs) == 0 {
+			return
+		}
+		u := 1.0 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}

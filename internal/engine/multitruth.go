@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/infer"
+	"repro/internal/multitruth"
+)
+
+// multiEngine runs a multitruth.Discoverer (LTM / DART / LFC-MT) as the
+// campaign's truth model: truths are value SETS, and workers answer with
+// sets too (the typed Values payload, which the index turns into one claim
+// per value for the same worker). Discovery is a full pass — LTM's Gibbs
+// chain has no incremental step — so answers and growth publish stale sets
+// until the refit policy triggers, the same contract the categorical
+// non-TDH baselines have always had.
+type multiEngine struct {
+	disc multitruth.Discoverer
+}
+
+// NewMultiTruth wraps a multi-truth discoverer as an Engine.
+func NewMultiTruth(disc multitruth.Discoverer) Engine {
+	return &multiEngine{disc: disc}
+}
+
+func (e *multiEngine) Model() TruthModel { return MultiTruth }
+func (e *multiEngine) Name() string      { return e.disc.Name() }
+
+// multiState is one discovery round: the per-object truth sets plus the
+// assigner-facing result derived from claim support.
+type multiState struct {
+	sets map[string][]string
+	res  *infer.Result
+}
+
+func (st *multiState) Res() *infer.Result { return st.res }
+
+func (st *multiState) Truths() any { return st.sets }
+
+// Confidence reports the discovered set alongside the per-candidate claim
+// support the assigners rank by.
+func (st *multiState) Confidence(ov *data.ObjectView) any {
+	conf := st.res.Confidence[ov.Object]
+	support := make(map[string]float64, len(ov.CI.Values))
+	for i, v := range ov.CI.Values {
+		c := 0.0
+		if i < len(conf) {
+			c = conf[i]
+		}
+		support[v] = c
+	}
+	out := map[string]any{"support": support}
+	if set, ok := st.sets[ov.Object]; ok {
+		out["set"] = set
+	}
+	return out
+}
+
+func (st *multiState) Quality(ds *data.Dataset, idx *data.Index) map[string]float64 {
+	if len(ds.Truth) == 0 {
+		return nil
+	}
+	sc := eval.EvaluateMulti(ds, idx, st.sets)
+	return map[string]float64{"precision": sc.Precision, "recall": sc.Recall, "f1": sc.F1}
+}
+
+func (e *multiEngine) Fit(idx *data.Index) State {
+	sets := e.disc.Discover(idx)
+
+	// The assigner-facing confidence row is each candidate's claim share —
+	// the fraction of the object's providers (sources and workers alike)
+	// claiming it — so ME and QASCA rank the most contested objects first.
+	res := &infer.Result{
+		Truths:      make(map[string]string, len(sets)),
+		Confidence:  make(map[string][]float64, len(idx.Objects)),
+		SourceTrust: map[string]float64{},
+		WorkerTrust: map[string]float64{},
+	}
+	for o, set := range sets {
+		if len(set) > 0 {
+			res.Truths[o] = set[0]
+		}
+	}
+	for oid, o := range idx.Objects {
+		ov := &idx.Views[oid]
+		row := make([]float64, len(ov.CI.Values))
+		for _, c := range ov.SourceClaims {
+			row[c.Val]++
+		}
+		for _, c := range ov.WorkerClaims {
+			row[c.Val]++
+		}
+		normalize(row)
+		res.Confidence[o] = row
+	}
+	return &multiState{sets: sets, res: res}
+}
+
+// ApplyAnswers has no incremental path: discovery reruns at the next
+// policy-triggered Fit, and the published sets stay as they are meanwhile.
+func (e *multiEngine) ApplyAnswers(st State, idx *data.Index, answers []data.Answer) (State, bool) {
+	return st, false
+}
+
+func (e *multiEngine) Grow(st State, idx *data.Index, touched []int) (State, bool) {
+	return st, false
+}
+
+// ValidateAnswer accepts either a plain single value or a Values set; every
+// element must be one of the object's candidates. The answer is
+// canonicalized in place: Values is deduplicated (first-seen order, with a
+// non-empty Value merged in front), and Value becomes the set's first
+// element so single-truth consumers see exactly one claim per worker.
+func (e *multiEngine) ValidateAnswer(ov *data.ObjectView, a *data.Answer) error {
+	if a.Num != nil {
+		return fmt.Errorf("multi-truth campaign takes candidate values, not a number")
+	}
+	if len(a.Values) == 0 {
+		if _, ok := ov.CI.Pos[a.Value]; !ok {
+			return fmt.Errorf("value %q is not a candidate for %q", a.Value, a.Object)
+		}
+		return nil
+	}
+	merged := make([]string, 0, len(a.Values)+1)
+	seen := make(map[string]bool, len(a.Values)+1)
+	if a.Value != "" {
+		merged = append(merged, a.Value)
+		seen[a.Value] = true
+	}
+	for _, v := range a.Values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		merged = append(merged, v)
+	}
+	for _, v := range merged {
+		if _, ok := ov.CI.Pos[v]; !ok {
+			return fmt.Errorf("value %q is not a candidate for %q", v, a.Object)
+		}
+	}
+	a.Values = merged
+	a.Value = merged[0]
+	return nil
+}

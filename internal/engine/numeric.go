@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/data"
+	"repro/internal/eval"
+	"repro/internal/infer"
+	"repro/internal/numeric"
+)
+
+// numericEngine runs a numeric.Estimator (CRH / CATD / MEAN / MEDIAN /
+// VOTE) over the campaign's source records plus its worker answers, the
+// latter folded in as synthetic records from pseudo-sources named
+// "w:"+worker — the same provider-unification convention internal/
+// multitruth uses — so source-weighting estimators weigh workers exactly
+// like sources. The estimators are closed-form or few-iteration over the
+// claim table, cheap enough that every accepted batch re-estimates from
+// scratch: numeric campaigns never publish stale estimates.
+type numericEngine struct {
+	est numeric.Estimator
+}
+
+// NewNumeric wraps a numeric estimator as an Engine.
+func NewNumeric(est numeric.Estimator) Engine {
+	return &numericEngine{est: est}
+}
+
+func (e *numericEngine) Model() TruthModel { return Numeric }
+func (e *numericEngine) Name() string      { return e.est.Name() }
+
+// numState is one numeric round: the per-object estimates plus the
+// assigner-facing result derived from them.
+type numState struct {
+	estimates map[string]float64
+	res       *infer.Result
+}
+
+func (st *numState) Res() *infer.Result { return st.res }
+
+func (st *numState) Truths() any { return st.estimates }
+
+// Confidence reports the estimate alongside the per-candidate support
+// weights the assigners rank by.
+func (st *numState) Confidence(ov *data.ObjectView) any {
+	conf := st.res.Confidence[ov.Object]
+	support := make(map[string]float64, len(ov.CI.Values))
+	for i, v := range ov.CI.Values {
+		c := 0.0
+		if i < len(conf) {
+			c = conf[i]
+		}
+		support[v] = c
+	}
+	out := map[string]any{"support": support}
+	if est, ok := st.estimates[ov.Object]; ok {
+		out["estimate"] = est
+	}
+	return out
+}
+
+func (st *numState) Quality(ds *data.Dataset, idx *data.Index) map[string]float64 {
+	gold := make(map[string]float64, len(ds.Truth))
+	for o, v := range ds.Truth {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			gold[o] = f
+		}
+	}
+	if len(gold) == 0 {
+		return nil
+	}
+	sc := eval.EvaluateNumeric(gold, st.estimates)
+	return map[string]float64{"mae": sc.MAE, "re": sc.RE}
+}
+
+func (e *numericEngine) Fit(idx *data.Index) State {
+	return e.estimate(idx)
+}
+
+// ApplyAnswers re-estimates in full: the answers are already appended to
+// idx.DS (the pipeline's working dataset, which the index aliases), and the
+// numeric estimators are cheap enough to not need an incremental path.
+func (e *numericEngine) ApplyAnswers(st State, idx *data.Index, answers []data.Answer) (State, bool) {
+	return e.estimate(idx), true
+}
+
+func (e *numericEngine) Grow(st State, idx *data.Index, touched []int) (State, bool) {
+	return e.estimate(idx), true
+}
+
+func (e *numericEngine) estimate(idx *data.Index) *numState {
+	ds := idx.DS
+	recs := make([]data.Record, 0, len(ds.Records)+len(ds.Answers))
+	recs = append(recs, ds.Records...)
+	for i := range ds.Answers {
+		a := &ds.Answers[i]
+		recs = append(recs, data.Record{Object: a.Object, Source: "w:" + a.Worker, Value: numericValueString(a)})
+	}
+	est := e.est.Estimate(recs)
+
+	// The assigner-facing confidence row spreads mass over the object's
+	// candidate values by inverse distance to the estimate, so ME's entropy
+	// ranking prefers objects whose claimed values disagree most with (and
+	// among) the estimate. Unparsable candidates get zero mass; objects with
+	// no estimate (no parsable claims) read uniform.
+	res := &infer.Result{
+		Truths:      make(map[string]string, len(est)),
+		Confidence:  make(map[string][]float64, len(idx.Objects)),
+		SourceTrust: map[string]float64{},
+		WorkerTrust: map[string]float64{},
+	}
+	for o, v := range est {
+		res.Truths[o] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for oid, o := range idx.Objects {
+		ov := &idx.Views[oid]
+		row := make([]float64, len(ov.CI.Values))
+		if v, ok := est[o]; ok {
+			for i, cand := range ov.CI.Values {
+				c, err := strconv.ParseFloat(cand, 64)
+				if err != nil || math.IsNaN(c) || math.IsInf(c, 0) {
+					continue
+				}
+				row[i] = 1.0 / (1.0 + math.Abs(c-v))
+			}
+		}
+		normalize(row)
+		res.Confidence[o] = row
+	}
+	return &numState{estimates: est, res: res}
+}
+
+// numericValueString canonicalizes an answer's numeric payload to the
+// decimal string the claim tables key on.
+func numericValueString(a *data.Answer) string {
+	if a.Num != nil {
+		return strconv.FormatFloat(*a.Num, 'g', -1, 64)
+	}
+	return a.Value
+}
+
+// ValidateAnswer requires a parsable finite number — any number, not just a
+// previously claimed candidate: a numeric truth lives on the real line, not
+// in a candidate set. The answer is canonicalized in place: Num is parsed
+// from Value when absent, and Value is rewritten to Num's canonical decimal
+// form so dedup and claim tables agree on one spelling.
+func (e *numericEngine) ValidateAnswer(ov *data.ObjectView, a *data.Answer) error {
+	if len(a.Values) > 0 {
+		return fmt.Errorf("numeric campaign takes a single number, not a value set")
+	}
+	if a.Num == nil {
+		v, err := strconv.ParseFloat(a.Value, 64)
+		if err != nil {
+			return fmt.Errorf("value %q is not a number", a.Value)
+		}
+		a.Num = &v
+	}
+	if math.IsNaN(*a.Num) || math.IsInf(*a.Num, 0) {
+		return fmt.Errorf("numeric answer must be finite")
+	}
+	a.Value = strconv.FormatFloat(*a.Num, 'g', -1, 64)
+	return nil
+}

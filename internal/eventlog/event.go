@@ -11,8 +11,15 @@
 // Wire format. Each line is one Event:
 //
 //	{"type":"answer","v":1,"object":"o","worker":"w","value":"x"}
+//	{"type":"answer","v":2,"object":"o","worker":"w","value":"a","values":["a","b"]}
+//	{"type":"answer","v":2,"object":"o","worker":"w","value":"1.5","num":1.5}
 //	{"type":"add_object","v":1,"object":"o","candidates":["a","b"]}
 //	{"type":"add_record","v":1,"object":"o","source":"s","value":"x"}
+//
+// Version 2 adds the optional typed answer payloads of non-categorical
+// truth models: "values" (a multi-truth answer SET) and "num" (a numeric
+// answer). A plain single-truth answer is still written as v1, so logs of
+// categorical campaigns are byte-identical to what earlier builds wrote.
 //
 // Legacy compatibility: a bare answerlog line — {"object","worker","value"}
 // with no "type" — replays as an answer, so a pre-existing answers.jsonl is
@@ -30,8 +37,8 @@ import (
 
 // Version is the newest event format version this build writes and
 // understands. Version 0 (implied by a missing "v" field) is the legacy
-// bare-answer line.
-const Version = 1
+// bare-answer line; version 2 added typed answer payloads (values, num).
+const Version = 2
 
 // Type discriminates events. The empty string marks a legacy bare answer
 // line (version 0), which predates the "type" field.
@@ -54,13 +61,25 @@ type Event struct {
 	Worker string `json:"worker,omitempty"` // answer
 	Source string `json:"source,omitempty"` // add_record
 	Value  string `json:"value,omitempty"`  // answer, add_record
+	// Values is a multi-truth answer's full value set (answer, v2).
+	Values []string `json:"values,omitempty"`
+	// Num is a numeric answer's typed payload (answer, v2).
+	Num *float64 `json:"num,omitempty"`
 	// Candidates seeds an added object's candidate value set (add_object).
 	Candidates []string `json:"candidates,omitempty"`
 }
 
-// AnswerEvent wraps a crowd answer as a typed event.
+// AnswerEvent wraps a crowd answer as a typed event. A plain single-truth
+// answer is emitted at v1 — byte-identical to what earlier builds wrote —
+// and only answers carrying a typed payload use v2.
 func AnswerEvent(a data.Answer) Event {
-	return Event{Type: TypeAnswer, V: Version, Object: a.Object, Worker: a.Worker, Value: a.Value}
+	e := Event{Type: TypeAnswer, V: 1, Object: a.Object, Worker: a.Worker, Value: a.Value}
+	if len(a.Values) > 0 || a.Num != nil {
+		e.V = Version
+		e.Values = a.Values
+		e.Num = a.Num
+	}
+	return e
 }
 
 // AddObjectEvent declares a new object with seeded candidate values.
@@ -78,8 +97,13 @@ func AddRecordEvent(r data.Record) Event {
 func (e Event) Validate() error {
 	switch e.Type {
 	case TypeAnswer, "":
-		if e.Object == "" || e.Worker == "" || e.Value == "" {
+		if e.Object == "" || e.Worker == "" || (e.Value == "" && len(e.Values) == 0) {
 			return fmt.Errorf("eventlog: answer event with empty field")
+		}
+		for _, v := range e.Values {
+			if v == "" {
+				return fmt.Errorf("eventlog: answer event with empty value in set")
+			}
 		}
 	case TypeAddObject:
 		if e.Object == "" || len(e.Candidates) == 0 {
@@ -103,9 +127,15 @@ func (e Event) Validate() error {
 	return nil
 }
 
-// Answer extracts the answer payload of an answer (or legacy) event.
+// Answer extracts the answer payload of an answer (or legacy) event. A v2
+// event with a value set but no canonical Value backfills it from the set's
+// first element, so downstream single-truth consumers always see one claim.
 func (e Event) Answer() data.Answer {
-	return data.Answer{Object: e.Object, Worker: e.Worker, Value: e.Value}
+	a := data.Answer{Object: e.Object, Worker: e.Worker, Value: e.Value, Values: e.Values, Num: e.Num}
+	if a.Value == "" && len(a.Values) > 0 {
+		a.Value = a.Values[0]
+	}
+	return a
 }
 
 // Record extracts the record payload of an add_record event.

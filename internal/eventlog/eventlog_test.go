@@ -44,7 +44,7 @@ func TestMixedVersionReplay(t *testing.T) {
 	if res != want {
 		t.Fatalf("replay = %+v, want %+v", res, want)
 	}
-	if len(ds.Answers) != 3 || ds.Answers[2] != (data.Answer{Object: "o3", Worker: "w2", Value: "c"}) {
+	if len(ds.Answers) != 3 || !reflect.DeepEqual(ds.Answers[2], data.Answer{Object: "o3", Worker: "w2", Value: "c"}) {
 		t.Fatalf("answers = %+v", ds.Answers)
 	}
 	if len(ds.Records) != 1 || ds.Records[0] != (data.Record{Object: "o4", Source: "s1", Value: "x"}) {

@@ -1,0 +1,91 @@
+package eventlog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestReplayMixedVersions is the satellite compatibility pin: one log
+// holding every generation of line — v0 bare answers from the original
+// answerlog, v1 typed answers and mutations, v2 typed payloads (value sets,
+// numeric values) — replays in order, while unknown types, future versions
+// and malformed payloads are counted and skipped, never fatal.
+func TestReplayMixedVersions(t *testing.T) {
+	log := strings.Join([]string{
+		// v0: legacy bare answerlog line, no "type"/"v".
+		`{"object":"o1","worker":"w0","value":"NY"}`,
+		// v1: typed single-truth answer and open-world mutations.
+		`{"type":"answer","v":1,"object":"o1","worker":"w1","value":"LA"}`,
+		`{"type":"add_object","v":1,"object":"o9","candidates":["NY","LA"]}`,
+		`{"type":"add_record","v":1,"object":"o1","source":"s9","value":"NY"}`,
+		// v2: multi-truth value set (canonical value = set head) and numeric.
+		`{"type":"answer","v":2,"object":"o1","worker":"w2","value":"NY","values":["NY","USA"]}`,
+		`{"type":"answer","v":2,"object":"o2","worker":"w3","values":["LA"]}`,
+		`{"type":"answer","v":2,"object":"o2","worker":"w4","value":"10.5","num":10.5}`,
+		// Skipped, one each: unknown type, future version, empty set element,
+		// torn tail.
+		`{"type":"checkpoint","v":2,"object":"o1"}`,
+		`{"type":"answer","v":99,"object":"o1","worker":"w9","value":"NY"}`,
+		`{"type":"answer","v":2,"object":"o1","worker":"w9","values":["NY",""]}`,
+		`{"type":"answer","v":1,"object":"o1","wor`,
+	}, "\n")
+
+	ds := &data.Dataset{Name: "mixed"}
+	res, err := ReplayFrom(strings.NewReader(log), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReplayResult{Answers: 5, Records: 1, Objects: 1, Skipped: 4}
+	if res != want {
+		t.Fatalf("replay = %+v, want %+v", res, want)
+	}
+
+	// Typed payloads survive the round trip, and a set-only v2 answer has
+	// its canonical Value backfilled from the set head.
+	num := 10.5
+	wantAnswers := []data.Answer{
+		{Object: "o1", Worker: "w0", Value: "NY"},
+		{Object: "o1", Worker: "w1", Value: "LA"},
+		{Object: "o1", Worker: "w2", Value: "NY", Values: []string{"NY", "USA"}},
+		{Object: "o2", Worker: "w3", Value: "LA", Values: []string{"LA"}},
+		{Object: "o2", Worker: "w4", Value: "10.5", Num: &num},
+	}
+	if len(ds.Answers) != len(wantAnswers) {
+		t.Fatalf("recovered %d answers, want %d", len(ds.Answers), len(wantAnswers))
+	}
+	for i, want := range wantAnswers {
+		got := ds.Answers[i]
+		if got.Object != want.Object || got.Worker != want.Worker || got.Value != want.Value ||
+			!reflect.DeepEqual(got.Values, want.Values) {
+			t.Fatalf("answer %d = %+v, want %+v", i, got, want)
+		}
+		if (got.Num == nil) != (want.Num == nil) || (got.Num != nil && *got.Num != *want.Num) {
+			t.Fatalf("answer %d num = %v, want %v", i, got.Num, want.Num)
+		}
+	}
+	if ds.Records[0] != (data.Record{Object: "o1", Source: "s9", Value: "NY"}) {
+		t.Fatalf("recovered record = %+v", ds.Records[0])
+	}
+	if got := ds.Candidates["o9"]; !reflect.DeepEqual(got, []string{"NY", "LA"}) {
+		t.Fatalf("recovered candidates = %v", got)
+	}
+}
+
+// TestAnswerEventVersioning pins the wire stability promise: plain
+// single-truth answers still serialize as v1 (categorical logs stay
+// byte-identical to pre-engine builds); only typed payloads use v2.
+func TestAnswerEventVersioning(t *testing.T) {
+	if e := AnswerEvent(data.Answer{Object: "o", Worker: "w", Value: "x"}); e.V != 1 {
+		t.Fatalf("plain answer event v = %d, want 1", e.V)
+	}
+	if e := AnswerEvent(data.Answer{Object: "o", Worker: "w", Value: "a", Values: []string{"a", "b"}}); e.V != Version {
+		t.Fatalf("set answer event v = %d, want %d", e.V, Version)
+	}
+	n := 1.5
+	if e := AnswerEvent(data.Answer{Object: "o", Worker: "w", Value: "1.5", Num: &n}); e.V != Version {
+		t.Fatalf("numeric answer event v = %d, want %d", e.V, Version)
+	}
+}

@@ -3,25 +3,17 @@ package experiments
 import (
 	"repro/internal/assign"
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/infer"
 	"repro/internal/synth"
 )
 
 // InferencersInPaperOrder returns the ten truth-inference algorithms of
-// Table 3 in the paper's row order.
+// Table 3 in the paper's row order. The canonical list lives in the
+// per-truth-model engine registry (internal/engine); this is its
+// categorical view.
 func InferencersInPaperOrder() []infer.Inferencer {
-	return []infer.Inferencer{
-		infer.NewTDH(),
-		infer.Vote{},
-		infer.LCA{},
-		infer.DOCS{},
-		infer.ASUMS{},
-		infer.MDC{},
-		infer.Accu{DetectDependence: true},
-		infer.PopAccu{},
-		infer.LFC{},
-		infer.CRH{},
-	}
+	return engine.CategoricalInferencers()
 }
 
 // InferencerByName looks an algorithm up by its paper name.
@@ -36,17 +28,11 @@ func InferencerByName(name string) (infer.Inferencer, bool) {
 
 // AssignerByName returns the task-assignment algorithm by paper name.
 func AssignerByName(name string) (assign.Assigner, bool) {
-	switch name {
-	case "EAI":
-		return assign.EAI{}, true
-	case "QASCA":
-		return assign.QASCA{}, true
-	case "ME":
-		return assign.ME{}, true
-	case "MB":
-		return assign.MB{}, true
+	a, err := engine.NewAssigner(engine.Categorical, name)
+	if err != nil {
+		return nil, false
 	}
-	return nil, false
+	return a, true
 }
 
 // Combo is one (inference, assignment) pair of Table 4.

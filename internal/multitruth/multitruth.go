@@ -50,15 +50,20 @@ func (f FromSingleTruth) Discover(idx *data.Index) map[string][]string {
 // claimersOf returns, for one object view, the boolean claim matrix:
 // providers × candidate values (true where the provider claimed the value
 // or, when closure is set, an ancestor-closed version where claiming v also
-// claims every candidate ancestor of v).
+// claims every candidate ancestor of v). A provider with several claims on
+// the object — a worker who answered a multi-truth campaign with a value
+// SET — contributes ONE row with every claimed cell set, not one row per
+// value: the discoverers model a provider claiming a set, and splitting the
+// set into contradictory single-cell observations would bias them against
+// exactly the multi-valued answers they exist to aggregate.
 func claimersOf(ov *data.ObjectView, closure bool) (providers []string, claims [][]bool) {
 	type cl struct {
 		name string
 		c    int
 	}
-	// Claim slices are sorted by dense ID (= sorted-name order) and "s:"
-	// sorts before "w:", so appending sources then workers is already the
-	// deterministic prefixed-name order.
+	// Claim slices are sorted by dense ID (= sorted-name order, with claims
+	// of one provider adjacent) and "s:" sorts before "w:", so appending
+	// sources then workers is already the deterministic prefixed-name order.
 	var cls []cl
 	for _, c := range ov.SourceClaims {
 		cls = append(cls, cl{"s:" + ov.SourceName(c.Part), int(c.Val)})
@@ -67,16 +72,20 @@ func claimersOf(ov *data.ObjectView, closure bool) (providers []string, claims [
 		cls = append(cls, cl{"w:" + ov.WorkerName(c.Part), int(c.Val)})
 	}
 	n := ov.CI.NumValues()
-	for _, c := range cls {
+	for i := 0; i < len(cls); {
 		row := make([]bool, n)
-		row[c.c] = true
-		if closure {
-			for _, a := range ov.CI.Anc[c.c] {
-				row[a] = true
+		j := i
+		for ; j < len(cls) && cls[j].name == cls[i].name; j++ {
+			row[cls[j].c] = true
+			if closure {
+				for _, a := range ov.CI.Anc[cls[j].c] {
+					row[a] = true
+				}
 			}
 		}
-		providers = append(providers, c.name)
+		providers = append(providers, cls[i].name)
 		claims = append(claims, row)
+		i = j
 	}
 	return providers, claims
 }

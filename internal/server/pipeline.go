@@ -3,9 +3,8 @@ package server
 import (
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/data"
-	"repro/internal/infer"
+	"repro/internal/engine"
 )
 
 // The inference pipeline decouples answer ingestion from inference: POST
@@ -87,10 +86,9 @@ type pipeline struct {
 	s      *Server
 	policy RefitPolicy
 
-	work  *data.Dataset // private copy the pipeline appends answers to
-	idx   *data.Index   // index of the last full refit
-	res   *infer.Result // last published result
-	model *core.Model   // TDH model backing res, nil for non-model inferencers
+	work *data.Dataset // private copy the pipeline appends answers to
+	idx  *data.Index   // index of the last full refit
+	st   engine.State  // last published engine state
 
 	round      int64
 	applied    int // answers folded into the published snapshot
@@ -106,7 +104,7 @@ type pipeline struct {
 // reads. Full refits — already slow, already off the request path —
 // prewarm it eagerly so the common cold start serves instantly.
 func (p *pipeline) publish() {
-	sn := &Snapshot{Idx: p.idx, Res: p.res, Round: p.round, Answers: p.applied, Mutations: p.mutApplied}
+	sn := &Snapshot{Idx: p.idx, St: p.st, Res: p.st.Res(), Round: p.round, Answers: p.applied, Mutations: p.mutApplied}
 	p.s.current.Store(sn)
 	if p.sinceRefit == 0 {
 		sn.Plan().Prewarm()
@@ -114,11 +112,10 @@ func (p *pipeline) publish() {
 }
 
 // fullRefit rebuilds the index from the answer-extended dataset and reruns
-// the configured inferencer from scratch.
+// the configured engine's full inference from scratch.
 func (p *pipeline) fullRefit() {
 	p.idx = data.NewIndex(p.work)
-	p.res = p.s.cfg.Inferencer.Infer(p.idx)
-	p.model, _ = p.res.Model.(*core.Model)
+	p.st = p.s.eng.Fit(p.idx)
 	p.round++
 	p.sinceRefit = 0
 	p.publish()
@@ -146,12 +143,13 @@ func (p *pipeline) markDirty(n int) {
 
 // applyBatch folds a drained batch into the campaign state and publishes
 // one snapshot covering all of it. Mutations first: they extend the index
-// (data.Index.Extend) and grow the model (core.Model.Grow) so the batch's
-// answers — and every /task after the publish — already see the new
-// objects. Answers then update a clone of the live model with one
-// incremental EM step each. For inferencers that expose no core.Model the
-// additions only extend the dataset and the counters; their effect on the
-// result waits for the next policy-triggered refit.
+// (data.Index.Extend) and re-seed the engine state (Engine.Grow) so the
+// batch's answers — and every /task after the publish — already see the
+// new objects. Answers then fold in through the engine's incremental path
+// (for TDH, one incremental EM step each on a clone of the live model).
+// Engines without an incremental path keep publishing their previous state
+// (stale confidences, fresh counters); the additions' effect on the result
+// waits for the next policy-triggered refit.
 func (p *pipeline) applyBatch(batch []ingestItem) {
 	if len(batch) == 0 {
 		return
@@ -159,37 +157,22 @@ func (p *pipeline) applyBatch(batch []ingestItem) {
 	answers, muts := splitBatch(batch)
 	p.applyMutations(muts)
 	p.ingest(answers)
-	if p.model == nil || len(answers) == 0 {
-		// No incremental answer pass: either the inferencer exposes no model
-		// (stale confidences, fresh counters) or the batch was mutations
-		// only, whose grown model and result applyMutations already set.
-		p.publish()
-		return
-	}
-	m := p.model.Clone()
-	for _, a := range answers {
-		ov := p.idx.View(a.Object)
-		if ov == nil {
-			continue // object unknown to the current index; refit will pick it up
+	if len(answers) > 0 {
+		if st, ok := p.s.eng.ApplyAnswers(p.st, p.idx, answers); ok {
+			p.st = st
 		}
-		ans, ok := ov.CI.Pos[a.Value]
-		if !ok {
-			continue // not a candidate under the current index
-		}
-		m.ApplyAnswer(a.Object, a.Worker, ans)
 	}
-	p.model = m
-	p.res = infer.ResultFromModel(m)
 	p.publish()
 }
 
 // applyMutations folds accepted dataset mutations into the working dataset
-// and the live index/model. The extension is in-place cheap: untouched
-// per-object state is shared with the previous index, only the objects the
-// batch touches get their candidate sets and tables rebuilt, and the grown
-// model seeds the new entries so the EAI planner's cold-object path starts
-// assigning them at the very next publish. Mutations count toward the refit
-// policy like answers, so a growth burst still converges with a full EM.
+// and the live index/engine state. The extension is in-place cheap:
+// untouched per-object state is shared with the previous index, only the
+// objects the batch touches get their candidate sets and tables rebuilt,
+// and the grown engine state seeds the new entries so the EAI planner's
+// cold-object path starts assigning them at the very next publish.
+// Mutations count toward the refit policy like answers, so a growth burst
+// still converges with a full refit.
 func (p *pipeline) applyMutations(muts []*mutation) {
 	if len(muts) == 0 {
 		return
@@ -197,9 +180,8 @@ func (p *pipeline) applyMutations(muts []*mutation) {
 	mu := p.stageMutations(muts)
 	idx, touched := p.idx.Extend(p.work, mu)
 	p.idx = idx
-	if p.model != nil {
-		p.model = p.model.Grow(idx, touched)
-		p.res = infer.ResultFromModel(p.model)
+	if st, ok := p.s.eng.Grow(p.st, idx, touched); ok {
+		p.st = st
 	}
 }
 

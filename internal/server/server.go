@@ -43,7 +43,7 @@ import (
 
 	"repro/internal/assign"
 	"repro/internal/data"
-	"repro/internal/eval"
+	"repro/internal/engine"
 	"repro/internal/infer"
 )
 
@@ -61,7 +61,14 @@ type MutationSink interface {
 
 // Config wires a Server.
 type Config struct {
-	Dataset    *data.Dataset
+	Dataset *data.Dataset
+	// Engine is the truth-model engine the campaign runs (fit, incremental
+	// fold, growth, answer validation, wire encoding). When nil, Inferencer
+	// must be set and is wrapped as a categorical engine — the pre-engine
+	// configuration surface, kept working for existing callers.
+	Engine engine.Engine
+	// Inferencer is the legacy categorical configuration: a single-truth
+	// inference algorithm, ignored when Engine is set.
 	Inferencer infer.Inferencer
 	Assigner   assign.Assigner
 	// K is the number of questions handed out per /task call (default 5,
@@ -90,6 +97,7 @@ type Config struct {
 // inference runs in a single background goroutine (pipeline.go).
 type Server struct {
 	cfg     Config
+	eng     engine.Engine
 	current atomic.Pointer[Snapshot]
 	workers *workerState
 
@@ -142,11 +150,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Dataset == nil {
 		return nil, errors.New("server: nil dataset")
 	}
-	if cfg.Inferencer == nil {
-		return nil, errors.New("server: nil inferencer")
+	eng := cfg.Engine
+	if eng == nil {
+		if cfg.Inferencer == nil {
+			return nil, errors.New("server: nil engine and nil inferencer")
+		}
+		eng = engine.NewCategorical(cfg.Inferencer, engine.Config{Seed: cfg.Seed})
 	}
 	if cfg.Assigner == nil {
 		return nil, errors.New("server: nil assigner")
+	}
+	if eng.Model() != engine.Categorical && cfg.Assigner.Name() == "EAI" {
+		return nil, fmt.Errorf("server: assigner EAI requires a categorical engine, not %s", eng.Model())
 	}
 	if cfg.K == 0 {
 		cfg.K = 5
@@ -154,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 	cfg.Policy = cfg.Policy.withDefaults()
 	s := &Server{
 		cfg:          cfg,
+		eng:          eng,
 		workers:      newWorkerState(),
 		addedObjects: map[string]int{},
 		addedClaims:  map[[2]string]bool{},
@@ -325,7 +341,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	if a.Worker == "" || a.Object == "" || a.Value == "" {
+	if a.Worker == "" || a.Object == "" || (a.Value == "" && len(a.Values) == 0 && a.Num == nil) {
 		httpError(w, http.StatusBadRequest, "worker, object and value are required")
 		return
 	}
@@ -340,9 +356,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", a.Object))
 		return
 	}
-	if _, ok := ov.CI.Pos[a.Value]; !ok {
-		httpError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("value %q is not a candidate for %q", a.Value, a.Object))
+	// The engine owns payload validation: candidate membership for
+	// categorical and multi-truth answers, numeric parsing for numeric ones
+	// — plus in-place canonicalization of the typed payload.
+	if err := s.eng.ValidateAnswer(ov, &a); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
@@ -561,8 +579,11 @@ func dedupStrings(in []string) []string {
 	return out
 }
 
+// handleTruths serves the engine's typed truth payload: map[object]value
+// for categorical campaigns, map[object]float64 for numeric ones, and
+// map[object][]value for multi-truth ones.
 func (s *Server) handleTruths(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.snap().Res.Truths)
+	writeJSON(w, s.snap().St.Truths())
 }
 
 func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
@@ -573,20 +594,7 @@ func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", object))
 		return
 	}
-	// A partial or custom inferencer may publish no confidence row for an
-	// object, or one shorter than its candidate list (e.g. the candidate set
-	// grew with an out-of-Vo answer since the result was computed). Missing
-	// mass reads as zero instead of panicking the handler.
-	conf := snap.Res.Confidence[object]
-	out := make(map[string]float64, len(ov.CI.Values))
-	for i, v := range ov.CI.Values {
-		c := 0.0
-		if i < len(conf) {
-			c = conf[i]
-		}
-		out[v] = c
-	}
-	writeJSON(w, out)
+	writeJSON(w, snap.St.Confidence(ov))
 }
 
 func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
@@ -606,18 +614,25 @@ type Stats struct {
 	// snapshot the rest of this payload was computed from. AddedObjects /
 	// AddedRecords count accepted open-world mutations the same way, with
 	// AppliedMutations their folded-in counterpart.
-	Answers          int     `json:"answers"`
-	Applied          int     `json:"applied_answers"`
-	AddedObjects     int     `json:"added_objects,omitempty"`
-	AddedRecords     int     `json:"added_records,omitempty"`
-	AppliedMutations int     `json:"applied_mutations,omitempty"`
-	Rounds           int64   `json:"inference_runs"`
-	Inference        string  `json:"inference"`
-	Assignment       string  `json:"assignment"`
-	Accuracy         float64 `json:"accuracy,omitempty"`
-	GenAccuracy      float64 `json:"gen_accuracy,omitempty"`
-	AvgDistance      float64 `json:"avg_distance,omitempty"`
-	HasGold          bool    `json:"has_gold"`
+	Answers          int    `json:"answers"`
+	Applied          int    `json:"applied_answers"`
+	AddedObjects     int    `json:"added_objects,omitempty"`
+	AddedRecords     int    `json:"added_records,omitempty"`
+	AppliedMutations int    `json:"applied_mutations,omitempty"`
+	Rounds           int64  `json:"inference_runs"`
+	TruthModel       string `json:"truth_model"`
+	Inference        string `json:"inference"`
+	Assignment       string `json:"assignment"`
+	// Quality holds the engine's gold-standard metrics, keyed by metric
+	// name (accuracy / gen_accuracy / avg_distance for categorical, mae /
+	// re for numeric, precision / recall / f1 for multi-truth).
+	Quality map[string]float64 `json:"quality,omitempty"`
+	// Accuracy, GenAccuracy and AvgDistance mirror the categorical Quality
+	// entries at the top level, where pre-engine clients read them.
+	Accuracy    float64 `json:"accuracy,omitempty"`
+	GenAccuracy float64 `json:"gen_accuracy,omitempty"`
+	AvgDistance float64 `json:"avg_distance,omitempty"`
+	HasGold     bool    `json:"has_gold"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -651,15 +666,16 @@ func (s *Server) stats() Stats {
 		AddedRecords:     addedRecords,
 		AppliedMutations: snap.Mutations,
 		Rounds:           snap.Round,
-		Inference:        s.cfg.Inferencer.Name(),
+		TruthModel:       string(s.eng.Model()),
+		Inference:        s.eng.Name(),
 		Assignment:       s.cfg.Assigner.Name(),
 		HasGold:          len(base.Truth) > 0,
 	}
 	if st.HasGold {
-		sc := eval.Evaluate(base, snap.Idx, snap.Res.Truths)
-		st.Accuracy = sc.Accuracy
-		st.GenAccuracy = sc.GenAccuracy
-		st.AvgDistance = sc.AvgDistance
+		st.Quality = snap.St.Quality(base, snap.Idx)
+		st.Accuracy = st.Quality["accuracy"]
+		st.GenAccuracy = st.Quality["gen_accuracy"]
+		st.AvgDistance = st.Quality["avg_distance"]
 	}
 	return st
 }

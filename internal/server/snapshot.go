@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/assign"
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/infer"
 )
 
@@ -20,9 +21,13 @@ import (
 // exception in mechanism, not in contract: it is materialized at most once
 // per snapshot behind a sync.Once and is immutable from then on.
 type Snapshot struct {
-	// Idx is the candidate-set index the Res was computed against.
+	// Idx is the candidate-set index the St was computed against.
 	Idx *data.Index
-	// Res is the inference output (truths, confidences, trust, model).
+	// St is the engine state of this round: the truth-model-specific
+	// inference output plus its wire encoders (/truths, /confidence shapes).
+	St engine.State
+	// Res is St.Res(), cached at publish: the assigner-facing view
+	// (confidence rows, trust maps, model) every truth model provides.
 	Res *infer.Result
 	// Round counts completed full refits (the old "inference_runs").
 	Round int64
