@@ -517,6 +517,112 @@ func BenchmarkLiveGrowth(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedIngest measures the ingest pipeline's incremental path —
+// POST /answer through the epoch fold to an epoch-stitched publish with the
+// assignment plan advanced in the pipeline goroutine — at 1 vs N ingest
+// shards. Refits are disabled so every accepted answer pays exactly the
+// sharded critical path under test: route to shard, fold concurrently,
+// stitch, advance + prewarm the plan. On a multi-core box the N-shard
+// variant folds batches in parallel; on one core it must stay within noise
+// of the single-shard pipeline (the sharding overhead is one FNV hash and a
+// channel hop per answer).
+func BenchmarkShardedIngest(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ds := synth.Heritages(synth.HeritagesConfig{Seed: 7, Scale: 0.1})
+			srv, err := server.New(server.Config{
+				Dataset:     ds,
+				Inferencer:  infer.NewTDH(),
+				Assigner:    assign.EAI{},
+				OpenAnswers: true, // benchmark workers answer arbitrary objects
+				Policy: server.RefitPolicy{
+					MaxAnswers: -1, MaxStaleness: -1, Shards: shards,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			h := srv.Handler()
+			snap := srv.Snapshot()
+			objs := srv.SortedObjects()
+			vals := make([]string, len(objs))
+			for i, o := range objs {
+				vals[i] = snap.Idx.View(o).CI.Values[0]
+			}
+			var seq atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.SetParallelism(16)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					oi := i % len(objs)
+					body := fmt.Sprintf(`{"worker":"bw-%d","object":%q,"value":%q}`, i, objs[oi], vals[oi])
+					req := httptest.NewRequest("POST", "/answer", strings.NewReader(body))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("answer %d: status %d: %s", i, rec.Code, rec.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "answers/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkPlanAdvance compares the two ways a publish can obtain its
+// assignment plan after an incremental fold touching a small object set:
+// building from scratch (NewPlan + Prewarm — O(Σ|Vo| + |O| log |O|) plus
+// |O| cold-worker EAI evaluations) versus advancing the previous snapshot's
+// plan around the touched objects (copy + O(batch) patches + merge-repair).
+// The dataset is BirthPlaces at ≥10k objects — the regime where the
+// per-publish NewPlan was the wall between publish rate and corpus size.
+func BenchmarkPlanAdvance(b *testing.B) {
+	ds := synth.BirthPlaces(synth.BirthPlacesConfig{Seed: 7, Scale: 2})
+	idx := data.NewIndex(ds)
+	// Plan construction cost does not depend on fit quality; a capped fit
+	// keeps the benchmark setup seconds, not minutes.
+	opts := core.DefaultOptions()
+	opts.MaxIter = 3
+	m := core.Run(idx, opts)
+	res := infer.ResultFromModel(m)
+	b.Logf("objects: %d", idx.NumObjects())
+
+	// One incremental publish: 64 answers spread over 16 objects.
+	m2 := m.Clone()
+	var touched []int
+	for i := 0; i < 64; i++ {
+		oid := (i * 131) % 16
+		o := idx.Objects[oid]
+		m2.ApplyAnswer(o, fmt.Sprintf("bw-%d", i%8), 0)
+		touched = append(touched, oid)
+	}
+	res2 := infer.ResultFromModel(m2)
+
+	prev := assign.NewPlan(idx, res)
+	prev.Prewarm()
+	b.Run("NewPlan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := assign.NewPlan(idx, res2)
+			p.Prewarm()
+		}
+	})
+	b.Run("Advance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, ok := prev.Advance(idx, res2, touched)
+			if !ok {
+				b.Fatal("Advance fell back to a full build")
+			}
+			p.Prewarm()
+		}
+	})
+}
+
 // BenchmarkCampaignIngest measures durable multi-campaign answer ingest:
 // four concurrent campaigns hosted by one manager under a shared data
 // directory, every accepted answer fsync'd to its campaign's answer log

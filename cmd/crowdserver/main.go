@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,9 +55,11 @@ func main() {
 		workers   = flag.Int("workers", -1, "E-step goroutines for full refits (TDH only): -1 = all cores, 0/1 = sequential")
 		refitN    = flag.Int("refit-answers", 0, "full refit after this many answers (0 = default 64, <0 = never) (single-campaign mode; multi-campaign policy is per-campaign)")
 		refitAge  = flag.Duration("refit-staleness", 0, "full refit when unrefitted answers are older than this (0 = default 2s, <0 = never) (single-campaign mode)")
-		batch     = flag.Int("batch", 0, "max answers folded per incremental step (0 = default 64) (single-campaign mode)")
-		queue     = flag.Int("queue", 0, "ingest queue size before /answer applies backpressure (0 = default 1024) (single-campaign mode)")
+		batch     = flag.Int("batch", 0, "max answers folded per shard per incremental step (0 = default 64) (single-campaign mode)")
+		queue     = flag.Int("queue", 0, "total ingest queue size before /answer applies backpressure (0 = default 1024) (single-campaign mode)")
+		shards    = flag.Int("shards", 0, "ingest pipeline shards folded concurrently (0 = GOMAXPROCS capped at 8, <0 = 1) (single-campaign mode; multi-campaign policy is per-campaign)")
 		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (single-campaign mode)")
+		pprofOn   = flag.Bool("pprof", true, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		drainWait = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -88,6 +91,7 @@ func main() {
 			MaxStaleness: *refitAge,
 			BatchSize:    *batch,
 			QueueSize:    *queue,
+			Shards:       *shards,
 		}, *open)
 		if err != nil {
 			fatal(err)
@@ -96,6 +100,9 @@ func main() {
 		handler, closer = srv.Handler(), cl
 	}
 
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,6 +132,21 @@ func main() {
 type closeFunc func() error
 
 func (f closeFunc) Close() error { return f() }
+
+// withPprof mounts the net/http/pprof handlers next to the application
+// handler (the package's DefaultServeMux registration is useless here since
+// the server runs its own mux). CPU/heap/goroutine profiles against a live
+// campaign are the first slice of the observability roadmap item.
+func withPprof(app http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", app)
+	return mux
+}
 
 // singleCampaign wires the legacy one-campaign-per-process server (the
 // compatibility path: the same flags and root-level endpoints as before

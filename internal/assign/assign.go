@@ -15,6 +15,7 @@ package assign
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/data"
 	"repro/internal/infer"
@@ -31,6 +32,11 @@ type Context struct {
 	// /task serving never rebuilds it per request. Assigners fall back to
 	// building one when it is absent or belongs to a different snapshot.
 	Plan *Plan
+	// PlanFallbacks, when non-nil, is incremented every time an attached
+	// Plan turned out stale (Idx/Res mismatch) and a full plan was rebuilt
+	// in-line. The server wires its counter here so a plan-threading
+	// regression shows up in /stats instead of only as latency.
+	PlanFallbacks *atomic.Int64
 	// Workers are the workers available this round.
 	Workers []string
 	// K is the number of questions per worker.

@@ -1,0 +1,238 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/infer"
+)
+
+// The Plan.Advance equivalence suite: an advanced plan must be exactly what
+// NewPlan would build for the same (idx, res) — same values (1e-9, bit-
+// identical in practice), same ranking orders, same assignments from every
+// assigner — across the cases the server pipeline produces: incremental
+// answer folds, open-world index growth, and the fallback conditions.
+
+// foldAnswers simulates one incremental publish: clone the fixture's model,
+// apply nAns answers round-robin over the first objects (the pipeline's
+// ApplyAnswers path), and return the new result plus touched object IDs.
+func foldAnswers(f *fixture, nAns int) (*infer.Result, []int) {
+	m := f.m.Clone()
+	var touched []int
+	for i := 0; i < nAns; i++ {
+		oid := (i * 7) % len(f.idx.Objects)
+		o := f.idx.Objects[oid]
+		w := f.workers[i%len(f.workers)]
+		m.ApplyAnswer(o, w, i%len(f.idx.View(o).CI.Values))
+		touched = append(touched, oid)
+	}
+	return infer.ResultFromModel(m), touched
+}
+
+func floatsClose(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("%s[%d]: %g != %g", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// comparePlans pins an advanced plan to its from-scratch twin.
+func comparePlans(t *testing.T, tag string, got, want *Plan) {
+	t.Helper()
+	if !reflect.DeepEqual(got.entOrder, want.entOrder) {
+		t.Fatalf("%s: entOrder differs", tag)
+	}
+	floatsClose(t, tag+": MaxMu", got.MaxMu, want.MaxMu)
+	floatsClose(t, tag+": Ent", got.Ent, want.Ent)
+	if !reflect.DeepEqual(got.Mu, want.Mu) {
+		t.Fatalf("%s: Mu rows differ", tag)
+	}
+	if (got.M == nil) != (want.M == nil) {
+		t.Fatalf("%s: model presence differs", tag)
+	}
+	if got.M == nil {
+		return
+	}
+	if !reflect.DeepEqual(got.modelOid, want.modelOid) {
+		t.Fatalf("%s: modelOid differs", tag)
+	}
+	floatsClose(t, tag+": ueai", got.ueai, want.ueai)
+	if len(got.ueaiOrder) != len(want.ueaiOrder) {
+		t.Fatalf("%s: ueaiOrder length %d != %d", tag, len(got.ueaiOrder), len(want.ueaiOrder))
+	}
+	for i := range got.ueaiOrder {
+		if got.ueaiOrder[i].oid != want.ueaiOrder[i].oid {
+			t.Fatalf("%s: ueaiOrder[%d] oid %d != %d (scan order diverged)",
+				tag, i, got.ueaiOrder[i].oid, want.ueaiOrder[i].oid)
+		}
+		if math.Abs(got.ueaiOrder[i].ub-want.ueaiOrder[i].ub) > 1e-9 {
+			t.Fatalf("%s: ueaiOrder[%d] bound %g != %g", tag, i, got.ueaiOrder[i].ub, want.ueaiOrder[i].ub)
+		}
+	}
+	if got.defaultPsi != want.defaultPsi {
+		t.Fatalf("%s: defaultPsi differs", tag)
+	}
+	floatsClose(t, tag+": eaiDefault", got.defaultScores(), want.defaultScores())
+}
+
+// compareAssignments runs EAI, ME and QASCA against both plans and requires
+// identical output — the behavioral half of the equivalence bar.
+func compareAssignments(t *testing.T, tag string, f *fixture, idx *data.Index, res *infer.Result, got, want *Plan) {
+	t.Helper()
+	assigners := []Assigner{EAI{}, ME{}, QASCA{}}
+	for _, asg := range assigners {
+		mk := func(p *Plan) map[string][]string {
+			return asg.Assign(&Context{
+				Idx: idx, Res: res, Plan: p, Workers: f.workers, K: 3, Seed: 1234,
+			})
+		}
+		a, b := mk(got), mk(want)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: %s assignments differ:\n advanced: %v\n fresh:    %v", tag, asg.Name(), a, b)
+		}
+	}
+}
+
+// TestPlanAdvanceMatchesNewPlanAfterAnswers: advancing the previous
+// snapshot's plan around an incremental answer fold reproduces NewPlan on
+// both seed datasets.
+func TestPlanAdvanceMatchesNewPlanAfterAnswers(t *testing.T) {
+	for fi, f := range planFixtures(t) {
+		for _, nAns := range []int{1, 9} {
+			tag := fmt.Sprintf("fixture %d, %d answers", fi, nAns)
+			prev := NewPlan(f.idx, f.res)
+			prev.Prewarm()
+			res2, touched := foldAnswers(f, nAns)
+			want := NewPlan(f.idx, res2)
+			got, ok := prev.Advance(f.idx, res2, touched)
+			if !ok {
+				t.Fatalf("%s: Advance fell back to a full build", tag)
+			}
+			comparePlans(t, tag, got, want)
+			compareAssignments(t, tag, f, f.idx, res2, got, want)
+		}
+	}
+}
+
+// TestPlanAdvanceUnwarmedPrevious: advancing a plan whose cold-worker cache
+// was never filled still matches (the advance fills it off the previous
+// plan's lazy path).
+func TestPlanAdvanceUnwarmedPrevious(t *testing.T) {
+	f := newFixture(t, 5, true)
+	prev := NewPlan(f.idx, f.res) // no Prewarm
+	res2, touched := foldAnswers(f, 4)
+	want := NewPlan(f.idx, res2)
+	got, ok := prev.Advance(f.idx, res2, touched)
+	if !ok {
+		t.Fatal("Advance fell back to a full build")
+	}
+	comparePlans(t, "unwarmed", got, want)
+}
+
+// TestPlanAdvanceAfterGrowth: the open-world publish — Extend the index
+// with a new object and a new record, Grow the model, then advance the
+// plan across the size change.
+func TestPlanAdvanceAfterGrowth(t *testing.T) {
+	for fi, f := range planFixtures(t) {
+		tag := fmt.Sprintf("fixture %d", fi)
+		prev := NewPlan(f.idx, f.res)
+		prev.Prewarm()
+
+		work := f.ds.Clone()
+		donorVals := f.idx.View(f.idx.Objects[0]).CI.Values
+		mu := data.Mutation{
+			Candidates: map[string][]string{"zzz-grown-object": append([]string(nil), donorVals...)},
+			Records:    []data.Record{{Object: f.idx.Objects[1], Source: "grown-src", Value: donorVals[0]}},
+		}
+		work.Candidates = map[string][]string{"zzz-grown-object": append([]string(nil), donorVals...)}
+		work.Records = append(work.Records, mu.Records...)
+		idx2, touched := f.idx.Extend(work, mu)
+		m2 := f.m.Grow(idx2, touched)
+		res2 := infer.ResultFromModel(m2)
+
+		want := NewPlan(idx2, res2)
+		got, ok := prev.Advance(idx2, res2, touched)
+		if !ok {
+			t.Fatalf("%s: Advance fell back to a full build", tag)
+		}
+		comparePlans(t, tag, got, want)
+		compareAssignments(t, tag, f, idx2, res2, got, want)
+	}
+}
+
+// TestPlanAdvanceFallsBack: the detectable precondition violations — the
+// cases where entries cannot be carried over — must fall back to a full
+// build and say so. (A foreign index with the same size AND the same
+// object names is indistinguishable by construction; that case is what the
+// touched contract covers.)
+func TestPlanAdvanceFallsBack(t *testing.T) {
+	f := newFixture(t, 1, false)
+	other := newBirthPlacesFixture(t, 1, false) // different object names
+
+	if len(f.idx.Objects) == len(other.idx.Objects) {
+		t.Fatal("fixtures must differ in size for the shrink case")
+	}
+	big, small := f, other
+	if len(big.idx.Objects) < len(small.idx.Objects) {
+		big, small = small, big
+	}
+	if _, ok := NewPlan(big.idx, big.res).Advance(small.idx, small.res, nil); ok {
+		t.Fatal("Advance onto a smaller index must fall back")
+	}
+
+	prev := NewPlan(small.idx, small.res)
+	got, ok := prev.Advance(big.idx, big.res, nil)
+	if ok {
+		t.Fatal("Advance onto an index with foreign object names must fall back")
+	}
+	want := NewPlan(big.idx, big.res)
+	comparePlans(t, "foreign-names fallback", got, want)
+	compareAssignments(t, "foreign-names fallback", big, big.idx, big.res, got, want)
+
+	// Model detached: the result lost its TDH model (custom inferencer swap).
+	noModel := &infer.Result{Confidence: f.res.Confidence}
+	got, ok = NewPlan(f.idx, f.res).Advance(f.idx, noModel, nil)
+	if ok {
+		t.Fatal("Advance across a model detach must fall back")
+	}
+	comparePlans(t, "detached-model fallback", got, NewPlan(f.idx, noModel))
+}
+
+// TestPlanFallbackCounter: Context.PlanFallbacks counts stale attached
+// plans — and only those.
+func TestPlanFallbackCounter(t *testing.T) {
+	f := newFixture(t, 3, true)
+	plan := NewPlan(f.idx, f.res)
+	var n atomic.Int64
+
+	ctx := f.ctx(2)
+	ctx.Plan, ctx.PlanFallbacks = plan, &n
+	EAI{}.Assign(ctx)
+	if n.Load() != 0 {
+		t.Fatalf("matching plan counted as fallback: %d", n.Load())
+	}
+
+	res2, _ := foldAnswers(f, 1)
+	ctx = f.ctx(2)
+	ctx.Res, ctx.Plan, ctx.PlanFallbacks = res2, plan, &n // plan is stale for res2
+	EAI{}.Assign(ctx)
+	if n.Load() != 1 {
+		t.Fatalf("stale plan fallback count = %d, want 1", n.Load())
+	}
+
+	ctx = f.ctx(2)
+	ctx.Res, ctx.PlanFallbacks = res2, &n // no plan attached: not a regression
+	EAI{}.Assign(ctx)
+	if n.Load() != 1 {
+		t.Fatalf("absent plan counted as fallback: %d", n.Load())
+	}
+}

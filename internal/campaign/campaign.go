@@ -78,6 +78,9 @@ type PolicySpec struct {
 	RefitStalenessMS int64 `json:"refit_staleness_ms,omitempty"`
 	BatchSize        int   `json:"batch_size,omitempty"`
 	QueueSize        int   `json:"queue_size,omitempty"`
+	// Shards sets the campaign's ingest shard count (0 = server default:
+	// GOMAXPROCS capped at 8; <0 = 1).
+	Shards int `json:"shards,omitempty"`
 }
 
 func (p PolicySpec) refitPolicy() server.RefitPolicy {
@@ -86,6 +89,7 @@ func (p PolicySpec) refitPolicy() server.RefitPolicy {
 		MaxStaleness: time.Duration(p.RefitStalenessMS) * time.Millisecond,
 		BatchSize:    p.BatchSize,
 		QueueSize:    p.QueueSize,
+		Shards:       p.Shards,
 	}
 }
 

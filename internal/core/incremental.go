@@ -110,6 +110,14 @@ func (m *Model) CondMaxConfidenceAt(oid int, psi [3]float64, ans int) float64 {
 // statistics and confidences with one incremental step. The crowdsourcing
 // loop uses the full EM between rounds; this is exposed for streaming use
 // and for tests of the incremental update.
+//
+// The update is OBJECT-LOCAL: it writes only this object's N, D and Mu
+// rows, reads otherwise immutable shared state (Psi, the index tables),
+// and allocates its posterior scratch fresh. Concurrent ApplyAnswer calls
+// on one model are therefore race-free as long as they target disjoint
+// objects — the contract the sharded server pipeline relies on when it
+// folds object-disjoint shard batches into one cloned model in parallel
+// (engine.EpochFolder). Calls for the same object must stay serialized.
 func (m *Model) ApplyAnswer(o, w string, ans int) {
 	oid, ok := m.Idx.ObjectID(o)
 	if !ok {

@@ -80,14 +80,41 @@ func (e *categorical) Fit(idx *data.Index) State {
 	return &catState{res: res, model: m}
 }
 
+// ApplyAnswers is the single-batch spelling of an epoch fold: open, fold
+// once, seal. Keeping it defined through NewEpoch pins the two paths
+// equivalent by construction.
 func (e *categorical) ApplyAnswers(st State, idx *data.Index, answers []data.Answer) (State, bool) {
-	cs := st.(*catState)
-	if cs.model == nil {
+	ep, ok := e.NewEpoch(st, idx)
+	if !ok {
 		return st, false
 	}
-	m := cs.model.Clone()
+	ep.Fold(answers)
+	return ep.Seal(), true
+}
+
+// NewEpoch implements EpochFolder: TDH's incremental EM step is object-
+// local (core.Model.ApplyAnswer writes only the answer's object rows and
+// reads immutable shared state), so disjoint-object Fold calls can share
+// one cloned model without synchronization. Non-TDH states have no
+// incremental path and report ok=false.
+func (e *categorical) NewEpoch(st State, idx *data.Index) (Epoch, bool) {
+	cs := st.(*catState)
+	if cs.model == nil {
+		return nil, false
+	}
+	return &catEpoch{idx: idx, m: cs.model.Clone()}, true
+}
+
+// catEpoch folds answers into one cloned TDH model. Fold may be called
+// concurrently for object-disjoint batches (see NewEpoch).
+type catEpoch struct {
+	idx *data.Index
+	m   *core.Model
+}
+
+func (ep *catEpoch) Fold(answers []data.Answer) {
 	for _, a := range answers {
-		ov := idx.View(a.Object)
+		ov := ep.idx.View(a.Object)
 		if ov == nil {
 			continue // object unknown to the current index; refit will pick it up
 		}
@@ -95,9 +122,12 @@ func (e *categorical) ApplyAnswers(st State, idx *data.Index, answers []data.Ans
 		if !ok {
 			continue // not a candidate under the current index
 		}
-		m.ApplyAnswer(a.Object, a.Worker, ans)
+		ep.m.ApplyAnswer(a.Object, a.Worker, ans)
 	}
-	return &catState{res: infer.ResultFromModel(m), model: m}, true
+}
+
+func (ep *catEpoch) Seal() State {
+	return &catState{res: infer.ResultFromModel(ep.m), model: ep.m}
 }
 
 func (e *categorical) Grow(st State, idx *data.Index, touched []int) (State, bool) {

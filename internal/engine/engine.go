@@ -103,6 +103,30 @@ type Engine interface {
 	ValidateAnswer(ov *data.ObjectView, a *data.Answer) error
 }
 
+// EpochFolder is an optional Engine capability: folding one publish's worth
+// of answers as a set of object-disjoint batches that may run CONCURRENTLY.
+// An engine implements it when — and only when — its incremental update is
+// object-local (folding an answer reads shared immutable state and writes
+// only that object's rows, TDH's Section 4.2 property), which also implies
+// its Grow is object-local. The sharded server pipeline uses the capability
+// twice: to fold shard batches in parallel, and as the signal that a
+// publish's state delta touched only known objects, so the previous
+// snapshot's assignment plan can be Advance'd instead of rebuilt.
+type EpochFolder interface {
+	// NewEpoch opens a fold epoch over st for idx. ok=false means the
+	// current state has no incremental path (the same cases where
+	// ApplyAnswers reports false); callers fall back to ApplyAnswers.
+	NewEpoch(st State, idx *data.Index) (Epoch, bool)
+}
+
+// Epoch is one in-flight fold. Fold calls whose answer batches touch
+// disjoint object sets may run concurrently; Seal is called once, after all
+// Fold calls returned, and yields the folded State. An epoch is single-use.
+type Epoch interface {
+	Fold(answers []data.Answer)
+	Seal() State
+}
+
 // normalize scales xs into a distribution in place; all-zero rows become
 // uniform (the same convention as internal/infer).
 func normalize(xs []float64) {

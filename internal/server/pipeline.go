@@ -1,21 +1,36 @@
 package server
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/assign"
 	"repro/internal/data"
 	"repro/internal/engine"
 )
 
-// The inference pipeline decouples answer ingestion from inference: POST
-// /answer enqueues the accepted answer on a buffered channel and returns;
-// a single background goroutine drains the channel in batches, folds each
-// batch into the model with the cheap incremental EM of Section 4.2
-// (one O(|Vo|) step per answer, via core.Model.ApplyAnswer on a clone),
-// and publishes a fresh immutable Snapshot. Full refits — the expensive
-// MAP-EM from scratch, with the parallel E-step when Options.Workers is
-// set — are debounced behind a RefitPolicy and also run entirely off the
-// request path, so reads served from the previous snapshot never wait.
+// The inference pipeline decouples answer ingestion from inference. Ingest
+// is SHARDED by object: POST /answer (and the open-world mutation
+// endpoints) route each accepted item to its object's shard queue — FNV of
+// the object name, so an object's stream stays FIFO — and nudge the
+// coordinator. One background coordinator goroutine drains every shard
+// queue, folds the per-shard answer batches CONCURRENTLY when the engine
+// supports object-disjoint folding (engine.EpochFolder; TDH's incremental
+// E-step touches one object per answer, so shards never conflict), and
+// stitches the epoch into a single immutable Snapshot — readers always see
+// one consistent (index, state, plan) tuple no matter how many shards fed
+// it. Engines without the capability fold sequentially through
+// ApplyAnswers, exactly as the unsharded pipeline did.
+//
+// Publishes also maintain the snapshot's assignment plan incrementally:
+// when the batch's state delta was object-local, the previous snapshot's
+// plan is Advance'd around the touched objects (O(batch + |O|)) instead of
+// rebuilt from scratch (O(Σ|Vo| + |O| log |O|)), and every publish prewarms
+// the plan in the pipeline goroutine so no /task request ever pays a plan
+// build in-line. Full refits — the expensive MAP-EM from scratch, with the
+// parallel E-step when Options.Workers is set — are debounced behind a
+// RefitPolicy and also run entirely off the request path.
 
 // RefitPolicy controls when the pipeline escalates from incremental
 // confidence updates to a full EM refit, and how ingestion is buffered.
@@ -28,11 +43,17 @@ type RefitPolicy struct {
 	// is older than this (default 2s; <0 disables staleness refits).
 	MaxStaleness time.Duration
 	// BatchSize caps how many queued answers one incremental step folds in
-	// before publishing a snapshot (default 64).
+	// PER SHARD before publishing a snapshot (default 64).
 	BatchSize int
-	// QueueSize is the ingest channel buffer; /answer blocks (backpressure)
-	// when it is full (default 1024).
+	// QueueSize is the total ingest buffer, split evenly across shards;
+	// /answer blocks (backpressure) when its object's shard queue is full
+	// (default 1024).
 	QueueSize int
+	// Shards partitions ingestion and incremental folding across this many
+	// object shards (default: GOMAXPROCS, capped at 8; <0 means 1). One
+	// shard reproduces the unsharded pipeline exactly; the equivalence suite
+	// pins shards=N to it.
+	Shards int
 }
 
 const (
@@ -40,6 +61,7 @@ const (
 	defaultMaxStaleness = 2 * time.Second
 	defaultBatchSize    = 64
 	defaultQueueSize    = 1024
+	maxDefaultShards    = 8
 )
 
 func (p RefitPolicy) withDefaults() RefitPolicy {
@@ -54,6 +76,15 @@ func (p RefitPolicy) withDefaults() RefitPolicy {
 	}
 	if p.QueueSize <= 0 {
 		p.QueueSize = defaultQueueSize
+	}
+	if p.Shards == 0 {
+		p.Shards = runtime.GOMAXPROCS(0)
+		if p.Shards > maxDefaultShards {
+			p.Shards = maxDefaultShards
+		}
+	}
+	if p.Shards < 1 {
+		p.Shards = 1
 	}
 	return p
 }
@@ -79,9 +110,9 @@ type mutation struct {
 	record     *data.Record // add_record
 }
 
-// pipeline is the state owned exclusively by the inference goroutine. No
-// lock protects it: handlers communicate with it only through channels and
-// read only the published snapshots.
+// pipeline is the state owned exclusively by the coordinator goroutine. No
+// lock protects it: handlers communicate with it only through the shard
+// queues and read only the published snapshots.
 type pipeline struct {
 	s      *Server
 	policy RefitPolicy
@@ -97,18 +128,48 @@ type pipeline struct {
 	staleSince time.Time
 }
 
-// publish makes the pipeline's current state visible to readers. The
-// snapshot's assignment plan stays unbuilt here: it materializes once, on
-// the first /task against this snapshot (Snapshot.Plan), so high-rate
-// incremental publishes on the ingest path never pay for plans nobody
-// reads. Full refits — already slow, already off the request path —
-// prewarm it eagerly so the common cold start serves instantly.
-func (p *pipeline) publish() {
-	sn := &Snapshot{Idx: p.idx, St: p.st, Res: p.st.Res(), Round: p.round, Answers: p.applied, Mutations: p.mutApplied}
-	p.s.current.Store(sn)
-	if p.sinceRefit == 0 {
-		sn.Plan().Prewarm()
+// publish makes the pipeline's current state visible to readers, with its
+// assignment plan already attached and prewarmed — built, advanced or
+// reused in this goroutine so no /task request ever pays for it in-line:
+//
+//   - after a full refit (or the very first publish) the plan is built from
+//     scratch;
+//   - when the batch left index and result untouched (an engine with no
+//     incremental path publishing its previous state), the previous plan is
+//     exact and is reused outright;
+//   - when the state delta was object-local (the engine folds through
+//     epochs, or did not change state at all while the index grew), the
+//     previous plan is Advance'd around the touched object IDs;
+//   - otherwise (an engine that re-estimates globally, e.g. numeric), the
+//     plan is rebuilt.
+func (p *pipeline) publish(touched []int, local bool) {
+	prev := p.s.current.Load()
+	sn := &Snapshot{
+		Idx: p.idx, St: p.st, Res: p.st.Res(), Round: p.round,
+		Answers: p.applied, Mutations: p.mutApplied, PublishedAt: time.Now(),
 	}
+	var plan *assign.Plan
+	switch {
+	case prev == nil || p.sinceRefit == 0:
+		plan = assign.NewPlan(sn.Idx, sn.Res)
+		p.s.planBuilds.Add(1)
+	case sn.Idx == prev.Idx && sn.Res == prev.Res:
+		plan = prev.Plan() // nothing moved: the previous plan is exact
+	case local:
+		var adv bool
+		plan, adv = prev.Plan().Advance(sn.Idx, sn.Res, touched)
+		if adv {
+			p.s.planAdvances.Add(1)
+		} else {
+			p.s.planBuilds.Add(1)
+		}
+	default:
+		plan = assign.NewPlan(sn.Idx, sn.Res)
+		p.s.planBuilds.Add(1)
+	}
+	plan.Prewarm()
+	sn.setPlan(plan)
+	p.s.current.Store(sn)
 }
 
 // fullRefit rebuilds the index from the answer-extended dataset and reruns
@@ -118,7 +179,7 @@ func (p *pipeline) fullRefit() {
 	p.st = p.s.eng.Fit(p.idx)
 	p.round++
 	p.sinceRefit = 0
-	p.publish()
+	p.publish(nil, false)
 }
 
 // ingest extends the dataset and counters with accepted answers, without
@@ -141,53 +202,107 @@ func (p *pipeline) markDirty(n int) {
 	p.sinceRefit += n
 }
 
-// applyBatch folds a drained batch into the campaign state and publishes
-// one snapshot covering all of it. Mutations first: they extend the index
-// (data.Index.Extend) and re-seed the engine state (Engine.Grow) so the
-// batch's answers — and every /task after the publish — already see the
-// new objects. Answers then fold in through the engine's incremental path
-// (for TDH, one incremental EM step each on a clone of the live model).
-// Engines without an incremental path keep publishing their previous state
-// (stale confidences, fresh counters); the additions' effect on the result
-// waits for the next policy-triggered refit.
-func (p *pipeline) applyBatch(batch []ingestItem) {
-	if len(batch) == 0 {
+// applyShards folds one coordinator cycle — per-shard answer batches plus
+// the cycle's mutations — into the campaign state and publishes one
+// epoch-stitched snapshot covering all of it. Mutations first: they extend
+// the index (data.Index.Extend) and re-seed the engine state (Engine.Grow)
+// so the cycle's answers — and every /task after the publish — already see
+// the new objects. Answers then fold in concurrently when the engine folds
+// epochs (each shard's batch touches only that shard's objects), or
+// sequentially through ApplyAnswers otherwise. Engines without an
+// incremental path keep publishing their previous state (stale confidences,
+// fresh counters); the additions' effect on the result waits for the next
+// policy-triggered refit.
+func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total == 0 && len(muts) == 0 {
 		return
 	}
-	answers, muts := splitBatch(batch)
-	p.applyMutations(muts)
-	p.ingest(answers)
-	if len(answers) > 0 {
-		if st, ok := p.s.eng.ApplyAnswers(p.st, p.idx, answers); ok {
+	// local tracks whether every state change this cycle was object-local —
+	// the precondition for advancing the previous snapshot's plan.
+	local := true
+	var touched []int
+	if len(muts) > 0 {
+		mu := p.stageMutations(muts)
+		idx, t := p.idx.Extend(p.work, mu)
+		p.idx = idx
+		touched = append(touched, t...)
+		if st, ok := p.s.eng.Grow(p.st, idx, t); ok {
 			p.st = st
+			if _, epochal := p.s.eng.(engine.EpochFolder); !epochal {
+				local = false // Grow re-estimated globally (e.g. numeric)
+			}
 		}
 	}
-	p.publish()
+	if total > 0 {
+		for _, g := range groups {
+			p.work.Answers = append(p.work.Answers, g...)
+		}
+		p.markDirty(total)
+		p.applied += total
+		if !p.foldEpoch(groups, &touched) {
+			flat := make([]data.Answer, 0, total)
+			for _, g := range groups {
+				flat = append(flat, g...)
+			}
+			if st, ok := p.s.eng.ApplyAnswers(p.st, p.idx, flat); ok {
+				p.st = st
+				local = false // no epoch contract: assume a global update
+			}
+		}
+	}
+	p.publish(touched, local)
 }
 
-// applyMutations folds accepted dataset mutations into the working dataset
-// and the live index/engine state. The extension is in-place cheap:
-// untouched per-object state is shared with the previous index, only the
-// objects the batch touches get their candidate sets and tables rebuilt,
-// and the grown engine state seeds the new entries so the EAI planner's
-// cold-object path starts assigning them at the very next publish.
-// Mutations count toward the refit policy like answers, so a growth burst
-// still converges with a full refit.
-func (p *pipeline) applyMutations(muts []*mutation) {
-	if len(muts) == 0 {
-		return
+// foldEpoch folds the per-shard answer batches through the engine's epoch
+// capability, one goroutine per non-empty shard batch (the batches are
+// object-disjoint by construction: items are sharded by object name).
+// Reports false when the engine (or its current state) has no epoch path.
+func (p *pipeline) foldEpoch(groups [][]data.Answer, touched *[]int) bool {
+	ef, ok := p.s.eng.(engine.EpochFolder)
+	if !ok {
+		return false
 	}
-	mu := p.stageMutations(muts)
-	idx, touched := p.idx.Extend(p.work, mu)
-	p.idx = idx
-	if st, ok := p.s.eng.Grow(p.st, idx, touched); ok {
-		p.st = st
+	ep, ok := ef.NewEpoch(p.st, p.idx)
+	if !ok {
+		return false
 	}
+	var busy []int
+	for i, g := range groups {
+		if len(g) > 0 {
+			busy = append(busy, i)
+		}
+	}
+	if len(busy) == 1 {
+		ep.Fold(groups[busy[0]])
+	} else {
+		var wg sync.WaitGroup
+		for _, i := range busy {
+			wg.Add(1)
+			go func(g []data.Answer) {
+				defer wg.Done()
+				ep.Fold(g)
+			}(groups[i])
+		}
+		wg.Wait()
+	}
+	p.st = ep.Seal()
+	for _, g := range groups {
+		for _, a := range g {
+			if oid, ok := p.idx.ObjectID(a.Object); ok {
+				*touched = append(*touched, oid)
+			}
+		}
+	}
+	return true
 }
 
 // stageMutations appends accepted mutations to the working dataset and the
 // counters, returning them in data.Mutation form. Callers either Extend the
-// live index with the result (applyMutations) or let an imminent full refit
+// live index with the result (applyShards) or let an imminent full refit
 // absorb them (the refresh path).
 func (p *pipeline) stageMutations(muts []*mutation) data.Mutation {
 	mu := data.Mutation{}
@@ -225,58 +340,68 @@ func (p *pipeline) shouldRefit(now time.Time) bool {
 	return false
 }
 
-// splitBatch partitions a drained ingest batch into its answers and its
-// dataset mutations, preserving arrival order within each kind.
-func splitBatch(batch []ingestItem) (answers []data.Answer, muts []*mutation) {
-	for _, it := range batch {
-		if it.mut != nil {
-			muts = append(muts, it.mut)
-		} else {
-			answers = append(answers, it.answer)
+// drainShards moves what is buffered on every shard queue into per-shard
+// answer batches plus the cycle's mutations, without blocking. limit caps
+// the items taken PER SHARD (0 = unbounded, used during refresh and
+// shutdown); more reports whether any queue still held items afterwards,
+// so the coordinator re-kicks itself instead of stalling a backlog.
+// Mutations are returned in shard order (per-object order — the one that
+// matters for dedup and candidate accumulation — is preserved, since an
+// object's mutations all live on one shard).
+func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutation, more bool) {
+	groups = make([][]data.Answer, len(p.s.shardChs))
+	for i, ch := range p.s.shardChs {
+		taken := 0
+	drain:
+		for limit <= 0 || taken < limit {
+			select {
+			case it := <-ch:
+				taken++
+				if it.mut != nil {
+					muts = append(muts, it.mut)
+				} else {
+					groups[i] = append(groups[i], it.answer)
+				}
+			default:
+				break drain
+			}
+		}
+		if len(ch) > 0 {
+			more = true
 		}
 	}
-	return answers, muts
+	return groups, muts, more
 }
 
-// drainQueued moves everything currently buffered on the ingest channel
-// into a batch, without blocking, up to the configured batch size (0 = no
-// cap, used during refresh and shutdown).
-func (p *pipeline) drainQueued(first []ingestItem, limit int) []ingestItem {
-	batch := first
-	for limit <= 0 || len(batch) < limit {
-		select {
-		case it := <-p.s.ingestCh:
-			batch = append(batch, it)
-		default:
-			return batch
-		}
-	}
-	return batch
-}
-
-// loop is the pipeline goroutine. It exits when Server.Close signals quit,
-// after flushing every queued answer into a final snapshot.
+// loop is the coordinator goroutine. It exits when Server.Close signals
+// quit, after flushing every queued item into a final snapshot.
 func (p *pipeline) loop() {
 	defer close(p.s.doneCh)
 	tick := time.NewTicker(p.tickInterval())
 	defer tick.Stop()
 	for {
 		select {
-		case it := <-p.s.ingestCh:
-			p.applyBatch(p.drainQueued([]ingestItem{it}, p.policy.BatchSize))
+		case <-p.s.kickCh:
+			groups, muts, more := p.drainShards(p.policy.BatchSize)
+			p.applyShards(groups, muts)
 			if p.shouldRefit(time.Now()) {
 				p.fullRefit()
+			}
+			if more {
+				p.s.kick() // backlog beyond the batch cap: schedule another cycle
 			}
 		case req := <-p.s.refreshCh:
 			// No incremental answer pass here: the refit recomputes
 			// everything the drained answers would have contributed.
 			// Mutations still extend the working dataset first so the refit
 			// covers them.
-			answers, muts := splitBatch(p.drainQueued(nil, 0))
+			groups, muts, _ := p.drainShards(0)
 			if len(muts) > 0 {
 				p.stageMutations(muts) // the refit below absorbs them
 			}
-			p.ingest(answers)
+			for _, g := range groups {
+				p.ingest(g)
+			}
 			p.fullRefit()
 			req.done <- p.s.snap()
 		case <-tick.C:
@@ -284,9 +409,11 @@ func (p *pipeline) loop() {
 				p.fullRefit()
 			}
 		case <-p.s.quitCh:
-			// Flush: every answer accepted before Close was enqueued, so one
-			// unbounded drain folds the backlog into a final snapshot.
-			p.applyBatch(p.drainQueued(nil, 0))
+			// Flush: every item accepted before Close was enqueued (Close
+			// waits out in-flight accepts first), so one unbounded drain
+			// folds the backlog into a final snapshot.
+			groups, muts, _ := p.drainShards(0)
+			p.applyShards(groups, muts)
 			return
 		}
 	}

@@ -40,6 +40,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/assign"
 	"repro/internal/data"
@@ -94,7 +95,8 @@ type Config struct {
 
 // Server is the crowdsourcing coordinator. Reads are lock-free against a
 // published Snapshot; per-worker assignment state is sharded (pending.go);
-// inference runs in a single background goroutine (pipeline.go).
+// ingestion is sharded by object and folded by the background coordinator
+// goroutine (pipeline.go).
 type Server struct {
 	cfg     Config
 	eng     engine.Engine
@@ -120,7 +122,12 @@ type Server struct {
 	objectCount  int                // accepted POST /objects
 	recordCount  int                // accepted POST /records
 
-	ingestCh  chan ingestItem
+	// Ingest is sharded by object name: each accepted item goes to its
+	// object's shard queue (stable FNV hash, so an object's stream stays
+	// FIFO and a growing index never re-homes it) and kickCh nudges the
+	// coordinator, which drains all shards into one epoch-stitched publish.
+	shardChs  []chan ingestItem
+	kickCh    chan struct{}
 	refreshCh chan refreshReq
 	quitCh    chan struct{}
 	doneCh    chan struct{}
@@ -128,6 +135,39 @@ type Server struct {
 	closeMu   sync.Mutex
 	ingestWG  sync.WaitGroup
 	closeOnce sync.Once
+
+	// Plan-maintenance observability (/stats): publishes that advanced the
+	// previous snapshot's plan vs built one from scratch, and /task requests
+	// that found a stale attached plan (a threading regression).
+	planBuilds    atomic.Int64
+	planAdvances  atomic.Int64
+	planFallbacks atomic.Int64
+}
+
+// shardOf maps an object name to its ingest shard.
+func (s *Server) shardOf(object string) int {
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, object)
+	return int(h.Sum32() % uint32(len(s.shardChs)))
+}
+
+// enqueue routes one accepted item to its object's shard queue (blocking
+// there is the ingest backpressure) and nudges the coordinator. The order —
+// enqueue, then kick — makes the wakeup race-free: a dropped kick means a
+// token is already pending, so the coordinator will drain again after this
+// item is visible.
+func (s *Server) enqueue(object string, it ingestItem) {
+	s.shardChs[s.shardOf(object)] <- it
+	s.kick()
+}
+
+// kick nudges the coordinator without blocking; kickCh has capacity 1, so
+// concurrent kicks coalesce into one drain cycle.
+func (s *Server) kick() {
+	select {
+	case s.kickCh <- struct{}{}:
+	default:
+	}
 }
 
 // beginIngest registers an in-flight answer accept; Close waits for all of
@@ -173,10 +213,19 @@ func New(cfg Config) (*Server, error) {
 		workers:      newWorkerState(),
 		addedObjects: map[string]int{},
 		addedClaims:  map[[2]string]bool{},
-		ingestCh:     make(chan ingestItem, cfg.Policy.QueueSize),
+		shardChs:     make([]chan ingestItem, cfg.Policy.Shards),
+		kickCh:       make(chan struct{}, 1),
 		refreshCh:    make(chan refreshReq),
 		quitCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
+	}
+	// QueueSize is the total ingest buffer, split across the shard queues.
+	perShard := (cfg.Policy.QueueSize + cfg.Policy.Shards - 1) / cfg.Policy.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range s.shardChs {
+		s.shardChs[i] = make(chan ingestItem, perShard)
 	}
 	// Seed the answered-sets from answers already in the dataset (e.g.
 	// recovered from an answer log), so replayed answers cannot be
@@ -263,12 +312,13 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		// immutable snapshot, and an O(|O|) assigner pass must not block
 		// /answer calls for other workers hashing to the same shard.
 		ctx := &assign.Context{
-			Idx:     snap.Idx,
-			Res:     snap.Res,
-			Plan:    snap.Plan(),
-			Workers: []string{worker},
-			K:       s.cfg.K,
-			Seed:    taskSeed(s.cfg.Seed, snap.Round, worker),
+			Idx:           snap.Idx,
+			Res:           snap.Res,
+			Plan:          snap.Plan(),
+			PlanFallbacks: &s.planFallbacks,
+			Workers:       []string{worker},
+			K:             s.cfg.K,
+			Seed:          taskSeed(s.cfg.Seed, snap.Round, worker),
 		}
 		assigned := s.cfg.Assigner.Assign(ctx)[worker]
 		sh.mu.Lock()
@@ -402,10 +452,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	n := len(s.acceptedList)
 	s.acceptedMu.Unlock()
 
-	// Enqueue for the inference pipeline; a full queue applies backpressure.
-	// The pipeline keeps draining until Close has waited out every in-flight
-	// accept (beginIngest/ingestWG), so this send cannot block forever.
-	s.ingestCh <- ingestItem{answer: a}
+	// Enqueue for the inference pipeline; a full shard queue applies
+	// backpressure. The pipeline keeps draining until Close has waited out
+	// every in-flight accept (beginIngest/ingestWG), so this send cannot
+	// block forever.
+	s.enqueue(a.Object, ingestItem{answer: a})
 	writeJSON(w, map[string]any{"accepted": true, "answers": n})
 }
 
@@ -474,7 +525,7 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	s.objectCount++
 	n := s.objectCount
 	s.mutMu.Unlock()
-	s.ingestCh <- ingestItem{mut: &mutation{object: req.Object, candidates: cands}}
+	s.enqueue(req.Object, ingestItem{mut: &mutation{object: req.Object, candidates: cands}})
 	writeJSON(w, map[string]any{"accepted": true, "object": req.Object, "added_objects": n})
 }
 
@@ -540,7 +591,7 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	s.recordCount++
 	n := s.recordCount
 	s.mutMu.Unlock()
-	s.ingestCh <- ingestItem{mut: &mutation{object: rec.Object, record: &rec}}
+	s.enqueue(rec.Object, ingestItem{mut: &mutation{object: rec.Object, record: &rec}})
 	writeJSON(w, map[string]any{"accepted": true, "object": rec.Object, "added_records": n})
 }
 
@@ -633,6 +684,20 @@ type Stats struct {
 	GenAccuracy float64 `json:"gen_accuracy,omitempty"`
 	AvgDistance float64 `json:"avg_distance,omitempty"`
 	HasGold     bool    `json:"has_gold"`
+	// Pipeline / plan-maintenance observability. Shards is the configured
+	// ingest shard count; ShardQueueDepth the momentary queue length per
+	// shard (approximate — queues drain concurrently). SnapshotAgeMS is how
+	// long ago the served snapshot was published. PlanAdvances / PlanBuilds
+	// split publishes by whether the assignment plan was advanced from the
+	// previous snapshot's or built from scratch; PlanFallbacks counts /task
+	// requests that found a stale attached plan and rebuilt one in-line
+	// (always 0 unless plan threading regresses).
+	Shards          int   `json:"shards"`
+	ShardQueueDepth []int `json:"shard_queue_depth"`
+	SnapshotAgeMS   int64 `json:"snapshot_age_ms"`
+	PlanBuilds      int64 `json:"plan_builds"`
+	PlanAdvances    int64 `json:"plan_advances"`
+	PlanFallbacks   int64 `json:"plan_fallbacks"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -670,6 +735,17 @@ func (s *Server) stats() Stats {
 		Inference:        s.eng.Name(),
 		Assignment:       s.cfg.Assigner.Name(),
 		HasGold:          len(base.Truth) > 0,
+		Shards:           len(s.shardChs),
+		ShardQueueDepth:  make([]int, len(s.shardChs)),
+		PlanBuilds:       s.planBuilds.Load(),
+		PlanAdvances:     s.planAdvances.Load(),
+		PlanFallbacks:    s.planFallbacks.Load(),
+	}
+	for i, ch := range s.shardChs {
+		st.ShardQueueDepth[i] = len(ch)
+	}
+	if !snap.PublishedAt.IsZero() {
+		st.SnapshotAgeMS = time.Since(snap.PublishedAt).Milliseconds()
 	}
 	if st.HasGold {
 		st.Quality = snap.St.Quality(base, snap.Idx)

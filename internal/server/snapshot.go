@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/assign"
 	"repro/internal/data"
@@ -41,6 +42,9 @@ type Snapshot struct {
 	// additions) folded into this snapshot, with the same trailing
 	// semantics as Answers.
 	Mutations int
+	// PublishedAt is when the pipeline stored this snapshot (feeds the
+	// /stats snapshot-age gauge).
+	PublishedAt time.Time
 
 	planOnce sync.Once
 	plan     *assign.Plan
@@ -50,13 +54,20 @@ type Snapshot struct {
 // independent precompute (UEAI bounds in scan order, per-object max-
 // confidence and entropy rankings, cold-worker EAI scores) that every
 // /task request against this snapshot reads instead of rebuilding
-// O(|O| log |O|) state per request. It is built at most once per snapshot,
-// on first use: full refits prewarm it in the pipeline goroutine, while
-// incremental publishes defer it so a pure answer-ingest workload never
-// pays for plans nobody reads.
+// O(|O| log |O|) state per request. The pipeline attaches a prewarmed plan
+// (built, advanced from the previous snapshot's, or reused) to every
+// snapshot before publishing it, so this is a plain read on the request
+// path; the lazy build only runs for snapshots constructed outside the
+// pipeline (tests, embedders).
 func (sn *Snapshot) Plan() *assign.Plan {
 	sn.planOnce.Do(func() { sn.plan = assign.NewPlan(sn.Idx, sn.Res) })
 	return sn.plan
+}
+
+// setPlan attaches a pipeline-maintained plan before publication, winning
+// the once so later Plan() calls return it unchanged.
+func (sn *Snapshot) setPlan(p *assign.Plan) {
+	sn.planOnce.Do(func() { sn.plan = p })
 }
 
 // snap loads the current snapshot; it is never nil after New.
