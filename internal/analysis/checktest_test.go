@@ -1,0 +1,192 @@
+package analysis
+
+// An analysistest-style harness: runTest loads a package from
+// testdata/src/<dir>, runs one analyzer over it, and compares the
+// diagnostics against `// want "regexp"` comments in the sources. Local
+// sibling packages under testdata/src are type-checked from source;
+// standard-library imports resolve through `go list -export` compiler
+// export data, exactly like the real drivers.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+type testImporter struct {
+	fset    *token.FileSet
+	src     string
+	pkgs    map[string]*types.Package
+	files   map[string][]*ast.File
+	infos   map[string]*types.Info
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+func newTestImporter(fset *token.FileSet) *testImporter {
+	ti := &testImporter{
+		fset:    fset,
+		src:     filepath.Join("testdata", "src"),
+		pkgs:    map[string]*types.Package{},
+		files:   map[string][]*ast.File{},
+		infos:   map[string]*types.Info{},
+		exports: map[string]string{},
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := ti.exports[path]; ok {
+			return os.Open(f)
+		}
+		// Resolve the package (and its deps) to export data on demand.
+		pkgs, err := goList(".", []string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				ti.exports[p.ImportPath] = p.Export
+			}
+		}
+		f, ok := ti.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	ti.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return ti
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ti.src, path)
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return ti.load(path, dir)
+	}
+	return ti.gc.ImportFrom(path, "", 0)
+}
+
+func (ti *testImporter) load(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ti.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ti}
+	pkg, err := conf.Check(path, ti.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ti.pkgs[path] = pkg
+	ti.files[path] = files
+	ti.infos[path] = info
+	return pkg, nil
+}
+
+// runTest loads testdata/src/<pkgdir> and checks a's diagnostics against
+// the package's `// want "re"` comments.
+func runTest(t *testing.T, a *Analyzer, pkgdir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ti := newTestImporter(fset)
+	pkg, err := ti.load(pkgdir, filepath.Join(ti.src, pkgdir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgdir, err)
+	}
+	files, info := ti.files[pkgdir], ti.infos[pkgdir]
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Notes:     CollectNotes(fset, files),
+		Report: func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			k := key{filepath.Base(p.Filename), p.Line}
+			got[k] = append(got[k], d.Message)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	// Collect // want "re" ["re" ...] expectations per line.
+	wantRx := regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+	type want struct {
+		rx      *regexp.Regexp
+		matched bool
+	}
+	wants := map[key][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Line-comment form, or the block form for lines whose
+				// line comment is already a //tdh: directive.
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					text, ok = strings.CutPrefix(c.Text, "/* want ")
+				}
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := key{filepath.Base(p.Filename), p.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, m[1], err)
+					}
+					wants[k] = append(wants[k], &want{rx: rx})
+				}
+			}
+		}
+	}
+
+	for k, msgs := range got {
+	msgs:
+		for _, msg := range msgs {
+			for _, w := range wants[k] {
+				if !w.matched && w.rx.MatchString(msg) {
+					w.matched = true
+					continue msgs
+				}
+			}
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched %q", k.file, k.line, w.rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+// This repo's default analyzer configuration. Package parts match by
+// trailing path components, so entries written as "internal/xxx.Name" work
+// for the module path "repro/internal/xxx".
+
+// DefaultSnapshotmut protects the values the server publishes behind the
+// atomic snapshot pointer — and the model/index layers they alias.
+func DefaultSnapshotmut() SnapshotmutConfig {
+	return SnapshotmutConfig{
+		Protected: []string{
+			"internal/server.Snapshot",
+			"internal/assign.Plan",
+			"internal/core.Model",
+			"internal/data.Index",
+			"internal/data.ObjectView",
+			"internal/infer.Result",
+			// engine.State implementations: immutable once returned by
+			// Fit/Seal/Grow.
+			"internal/engine.catState",
+			"internal/engine.numState",
+			"internal/engine.multiState",
+		},
+		Allowed: []string{
+			// Plan construction and delta maintenance.
+			"internal/assign.NewPlan",
+			"internal/assign.Plan.Advance",
+			// Model construction, the EM itself, incremental folds and
+			// open-world growth. Run and its helpers own the model until
+			// they return it.
+			"internal/core.NewModel",
+			"internal/core.newModelShell",
+			"internal/core.Model.initialize",
+			"internal/core.Model.initObjectMu",
+			"internal/core.Run",
+			"internal/core.Model.step",
+			"internal/core.Model.StepOnce",
+			"internal/core.Model.scratch",
+			"internal/core.Model.updateMu",
+			"internal/core.Model.updatePhi",
+			"internal/core.Model.updatePsi",
+			"internal/core.Model.refreshSufficientStats",
+			"internal/core.Model.refreshObjectStats",
+			"internal/core.Model.Clone",
+			"internal/core.Model.ApplyAnswer",
+			"internal/core.Model.Grow",
+			"internal/core.Model.blendPreviousMu",
+			"internal/core.Load",
+			// Index construction and open-world extension own their
+			// views and tables until the index is returned.
+			"internal/data.NewIndex",
+			"internal/data.Index.buildDerived",
+			"internal/data.Index.Extend",
+			"internal/data.Index.rebuildViews",
+			"internal/data.appendAnswerClaims",
+			"internal/data.ObjectView.precompute",
+			// Inferencers build their Result before handing it over;
+			// nothing outside the package may touch one afterwards.
+			"internal/infer.*",
+		},
+	}
+}
+
+// DefaultDetreplay covers the packages whose outputs are published,
+// ranked, or written to / recovered from the event log.
+func DefaultDetreplay() DetreplayConfig {
+	return DetreplayConfig{
+		Packages: []string{
+			"internal/infer",
+			"internal/assign",
+			"internal/engine",
+			"internal/core",
+			"internal/eventlog",
+			"internal/server",
+		},
+	}
+}
+
+// DefaultPipelineonly restricts the state-mutating entry points to the
+// pipeline call graph within the serving layer.
+func DefaultPipelineonly() PipelineonlyConfig {
+	return PipelineonlyConfig{
+		CallerPackages: []string{
+			"internal/server",
+			"internal/campaign",
+		},
+		Restricted: []string{
+			"internal/core.Model.ApplyAnswer",
+			"internal/core.Model.Grow",
+			"internal/data.Index.Extend",
+			"internal/engine.Engine.Fit",
+			"internal/engine.Engine.ApplyAnswers",
+			"internal/engine.Engine.Grow",
+			"internal/engine.EpochFolder.NewEpoch",
+			"internal/engine.Epoch.Fold",
+			"internal/engine.Epoch.Seal",
+			"internal/assign.Plan.Advance",
+			"internal/assign.Plan.Prewarm",
+		},
+	}
+}
+
+// DefaultHotpathalloc: hot paths may call math and each other; anything
+// else is assumed to allocate.
+func DefaultHotpathalloc() HotpathallocConfig {
+	return HotpathallocConfig{
+		AllowedStdlib:  []string{"math", "math/bits"},
+		ModulePrefixes: []string{"repro"},
+	}
+}

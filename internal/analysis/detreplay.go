@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetreplayConfig configures the detreplay analyzer.
+type DetreplayConfig struct {
+	// Packages lists the package path suffixes in scope — the packages
+	// whose outputs are published, ranked or logged and must replay
+	// bit-identically.
+	Packages []string
+}
+
+// seededConstructors are the math/rand functions that build an explicitly
+// seeded generator; everything else package-level in math/rand draws from
+// the process-global source and breaks replay determinism.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Detreplay enforces bit-deterministic replay in the inference and serving
+// packages: recovered state must be a pure function of the event log, and
+// published rankings must not depend on Go's randomized map iteration
+// order. Three sources of nondeterminism are flagged:
+//
+//   - time.Now / time.Since — wall clock reads (annotate //tdh:wallclock
+//     when the value is observability-only and never feeds replayed state);
+//   - global math/rand — the process-global source is seeded randomly;
+//     explicitly seeded generators (rand.New(rand.NewSource(seed))) pass;
+//   - range over a map — unless the loop body is provably
+//     order-insensitive (integer accumulation, keyed map writes,
+//     loop-local work), the collected results are sorted by a following
+//     statement, or the loop is annotated //tdh:orderok.
+func Detreplay(cfg DetreplayConfig) *Analyzer {
+	return &Analyzer{
+		Name: "detreplay",
+		Doc:  "forbid wall clock, global math/rand, and unordered map iteration in replayed/published paths",
+		Run: func(pass *Pass) error {
+			inScope := false
+			for _, p := range cfg.Packages {
+				if pathMatches(pass.Pkg.Path(), p) {
+					inScope = true
+					break
+				}
+			}
+			if !inScope {
+				return nil
+			}
+			forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+				_, fnClock := pass.Notes.FuncNote(fd, noteWallclock)
+				ast.Inspect(fd, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkNondetCall(pass, call, fnClock)
+					}
+					return true
+				})
+				checkMapRanges(pass, fd)
+			})
+			return nil
+		},
+	}
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr, fnClock bool) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			if fnClock {
+				return
+			}
+			if _, ok := pass.Notes.At(call.Pos(), noteWallclock); ok {
+				return
+			}
+			pass.Reportf(call.Pos(), "time.%s in a replayed/published path: replayed state must be a pure function of the event log (annotate //tdh:wallclock <why> if this never feeds replayed state)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if recvTypeName(fn) != "" || seededConstructors[fn.Name()] {
+			return // method on an explicitly constructed generator, or its constructor
+		}
+		pass.Reportf(call.Pos(), "global math/rand.%s draws from the randomly seeded process source; use rand.New(rand.NewSource(seed)) so replays are deterministic", fn.Name())
+	}
+}
+
+// checkMapRanges scans every statement list for range-over-map loops and
+// applies the order-safety rules. Statement lists (not single statements)
+// are scanned so a loop can be excused by a sort in a following sibling.
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				continue
+			}
+			if _, ok := pass.Notes.At(rs.Pos(), noteOrderOK); ok {
+				continue
+			}
+			locals := map[types.Object]bool{}
+			declareRangeVars(pass.TypesInfo, rs, locals)
+			writes := map[types.Object]bool{}
+			if orderInsensitive(pass.TypesInfo, rs.Body.List, locals, writes) {
+				continue
+			}
+			if sortedAfter(pass.TypesInfo, list[i+1:], loopWrites(pass.TypesInfo, rs.Body, locals)) {
+				continue
+			}
+			pass.Reportf(rs.Pos(), "range over a map feeds results in nondeterministic order; sort the collected results, restructure into keyed/integer accumulation, or annotate //tdh:orderok <why>")
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func declareRangeVars(info *types.Info, rs *ast.RangeStmt, locals map[types.Object]bool) {
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				locals[obj] = true
+			}
+		}
+	}
+}
+
+// orderInsensitive reports whether executing stmts for the map's entries in
+// any order yields identical state. Allowed shapes: declarations and writes
+// of loop-local variables, integer-typed commutative accumulation (+=, -=,
+// |=, &=, ^=, *=, ++, --), keyed map writes, map deletes, and control flow
+// recursively made of the same. Float accumulation is NOT allowed —
+// floating-point addition is not associative, so summation order changes
+// the published bits.
+func orderInsensitive(info *types.Info, stmts []ast.Stmt, locals, writes map[types.Object]bool) bool {
+	for _, st := range stmts {
+		if !orderInsensitiveStmt(info, st, locals, writes) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, st ast.Stmt, locals, writes map[types.Object]bool) bool {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(info, st, locals, writes)
+	case *ast.IncDecStmt:
+		id, ok := ast.Unparen(st.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		return obj != nil && (locals[obj] || isIntegerType(obj.Type()))
+	case *ast.ExprStmt:
+		// delete(m, k) is keyed; any other call may observe order.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		b := builtinOf(info, call)
+		return b != nil && b.Name() == "delete"
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, name := range vs.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil && !orderInsensitiveStmt(info, st.Init, locals, writes) {
+			return false
+		}
+		if isMaxAccumulation(info, st, locals) {
+			return true
+		}
+		if !orderInsensitive(info, st.Body.List, locals, writes) {
+			return false
+		}
+		if st.Else != nil {
+			return orderInsensitiveStmt(info, st.Else, locals, writes)
+		}
+		return true
+	case *ast.BlockStmt:
+		return orderInsensitive(info, st.List, locals, writes)
+	case *ast.RangeStmt:
+		declareRangeVars(info, st, locals)
+		return orderInsensitive(info, st.Body.List, locals, writes)
+	case *ast.ForStmt:
+		if st.Init != nil && !orderInsensitiveStmt(info, st.Init, locals, writes) {
+			return false
+		}
+		return orderInsensitive(info, st.Body.List, locals, writes)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok || !orderInsensitive(info, cc.Body, locals, writes) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return st.Label == nil
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+func orderInsensitiveAssign(info *types.Info, as *ast.AssignStmt, locals, writes map[types.Object]bool) bool {
+	if as.Tok.String() == ":=" {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	}
+	commutative := map[string]bool{"+=": true, "-=": true, "|=": true, "&=": true, "^=": true, "*=": true}
+	for _, lhs := range as.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := info.ObjectOf(l)
+			if obj == nil {
+				return false
+			}
+			if locals[obj] {
+				continue // per-iteration local: order-free by construction
+			}
+			writes[obj] = true
+			if commutative[as.Tok.String()] && isIntegerType(obj.Type()) {
+				continue // integer accumulation commutes exactly
+			}
+			return false
+		case *ast.IndexExpr:
+			if isMapType(info.TypeOf(l.X)) && as.Tok.String() == "=" {
+				continue // keyed map write: each key visited once
+			}
+			if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+				if obj := info.ObjectOf(base); obj != nil && locals[obj] {
+					// Write through a per-iteration local (typically the
+					// range value variable aliasing this key's slice):
+					// distinct keys reach distinct storage.
+					continue
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isMaxAccumulation recognizes `if x > acc { acc = x }` (and the < / >= /
+// <= variants): max and min are exact, commutative and associative, so the
+// accumulated value is independent of iteration order.
+func isMaxAccumulation(info *types.Info, st *ast.IfStmt, locals map[types.Object]bool) bool {
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok || st.Else != nil || len(st.Body.List) != 1 {
+		return false
+	}
+	switch cond.Op.String() {
+	case "<", ">", "<=", ">=":
+	default:
+		return false
+	}
+	as, ok := st.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok.String() != "=" || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	acc, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	accObj := info.ObjectOf(acc)
+	if accObj == nil {
+		return false
+	}
+	// The accumulator must be one side of the comparison and the assigned
+	// value the other side (textual identity via types.Object for idents).
+	sideIs := func(e ast.Expr, obj types.Object) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	}
+	rhs, ok := ast.Unparen(as.Rhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	rhsObj := info.ObjectOf(rhs)
+	if rhsObj == nil {
+		return false
+	}
+	return (sideIs(cond.X, rhsObj) && sideIs(cond.Y, accObj)) ||
+		(sideIs(cond.X, accObj) && sideIs(cond.Y, rhsObj))
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// loopWrites collects the objects the loop body appends to or assigns —
+// the candidates a canonicalizing sort must cover.
+func loopWrites(info *types.Info, body *ast.BlockStmt, locals map[types.Object]bool) map[types.Object]bool {
+	writes := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.ObjectOf(id); obj != nil && !locals[obj] {
+					writes[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// sortedAfter reports whether a following sibling statement canonicalizes
+// one of the loop's outputs with a sort.* or slices.Sort* call.
+func sortedAfter(info *types.Info, rest []ast.Stmt, writes map[types.Object]bool) bool {
+	if len(writes) == 0 {
+		return false
+	}
+	for _, st := range rest {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && writes[obj] {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+func TestDetreplay(t *testing.T) {
+	runTest(t, Detreplay(DetreplayConfig{
+		Packages: []string{"detreplay"},
+	}), "detreplay")
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotpathallocConfig configures the hotpathalloc analyzer.
+type HotpathallocConfig struct {
+	// AllowedStdlib lists the standard-library packages callable from a
+	// hot path (pure-computation packages like math). Any other
+	// non-module call is flagged as potentially allocating.
+	AllowedStdlib []string
+	// ModulePrefixes lists import-path prefixes of this module's own
+	// packages. Cross-package module calls are not checked (per-package
+	// analysis cannot see the callee's annotations); same-package callees
+	// must themselves be //tdh:hotpath.
+	ModulePrefixes []string
+}
+
+// Hotpathalloc turns the steady-state-allocation benchmarks into a
+// compile-time check: inside a function marked //tdh:hotpath, anything
+// that allocates is a finding — make/new/append, slice, map and &struct
+// literals, closures, go/defer statements, and string/[]byte conversions.
+// Value-typed array and struct literals are fine (they live on the stack).
+// A same-package callee must itself be marked //tdh:hotpath so the
+// property is closed over the call graph within a package; an unavoidable
+// allocation (e.g. a spill path for oversized inputs) is accepted with
+// //tdh:allocok <why>.
+func Hotpathalloc(cfg HotpathallocConfig) *Analyzer {
+	allowedStd := map[string]bool{}
+	for _, p := range cfg.AllowedStdlib {
+		allowedStd[p] = true
+	}
+	return &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "flag allocations inside //tdh:hotpath functions",
+		Run: func(pass *Pass) error {
+			hot := map[*types.Func]bool{}
+			var hotDecls []*ast.FuncDecl
+			forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+				if _, ok := pass.Notes.FuncNote(fd, noteHotpath); ok {
+					hotDecls = append(hotDecls, fd)
+					if fn := declaredFunc(pass.TypesInfo, fd); fn != nil {
+						hot[fn] = true
+					}
+				}
+			})
+			for _, fd := range hotDecls {
+				checkHotFunc(pass, fd, hot, allowedStd, cfg.ModulePrefixes)
+			}
+			return nil
+		},
+	}
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, hot map[*types.Func]bool, allowedStd map[string]bool, modulePrefixes []string) {
+	report := func(node ast.Node, what string) {
+		if _, ok := pass.Notes.At(node.Pos(), noteAllocOK); ok {
+			return
+		}
+		pass.Reportf(node.Pos(), "%s in //tdh:hotpath function %s; hot paths must not allocate in steady state (annotate //tdh:allocok <why> if unavoidable)", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure literal allocates")
+			return false // one finding per closure, not one per statement inside
+		case *ast.GoStmt:
+			report(n, "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(n, "defer allocates its frame")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "slice/map literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, report, hot, allowedStd, modulePrefixes)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(ast.Node, string), hot map[*types.Func]bool, allowedStd map[string]bool, modulePrefixes []string) {
+	if b := builtinOf(pass.TypesInfo, call); b != nil {
+		switch b.Name() {
+		case "make", "new", "append":
+			report(call, b.Name()+" allocates")
+		}
+		return
+	}
+	// Conversions: string([]byte) / []byte(string) / []rune(string) copy.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if allocatingConversion(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || atv.Value == nil {
+				report(call, "string/byte-slice conversion allocates")
+			}
+		}
+		return
+	}
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		// A call through a function value: can't see the callee; the
+		// value itself was flagged where it was built if it's a closure.
+		return
+	}
+	if fn.Pkg() == nil {
+		return // error.Error and friends from the universe scope
+	}
+	if fn.Pkg() == pass.Pkg {
+		if !hot[fn] {
+			report(call, "call to same-package non-hotpath "+calleeLabel(fn))
+		}
+		return
+	}
+	path := fn.Pkg().Path()
+	for _, prefix := range modulePrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			// Cross-package module call: trusted — per-package analysis
+			// cannot check the callee's annotation from here, and the
+			// callee's own package run enforces its hot functions.
+			return
+		}
+	}
+	if !allowedStd[path] {
+		report(call, "call to "+path+"."+fn.Name()+" may allocate")
+	}
+}
+
+func allocatingConversion(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Slice:
+		if e, ok := t.Elem().Underlying().(*types.Basic); ok {
+			return e.Kind() == types.Byte || e.Kind() == types.Rune
+		}
+	}
+	return false
+}

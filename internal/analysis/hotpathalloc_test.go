@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestHotpathalloc(t *testing.T) {
+	runTest(t, Hotpathalloc(HotpathallocConfig{
+		AllowedStdlib:  []string{"math", "math/bits"},
+		ModulePrefixes: []string{"example.com/absent"},
+	}), "hotpathalloc")
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //tdh: directive comments. Marker directives tag code the analyzers
+// treat specially; allowance directives grant a local exemption and MUST
+// carry a justification (enforced by the tdhnote analyzer — an allowance
+// without a reason is itself a finding, so every exemption in the tree is
+// documented at the site that needs it).
+//
+//	//tdh:hotpath                 marker: function must stay allocation-free
+//	//tdh:pipeline <why>          marker: root of the pipeline call graph
+//	//tdh:mutator <why>           allowance: function may mutate protected values
+//	//tdh:orderok <why>           allowance: this map iteration is order-safe
+//	//tdh:allocok <why>           allowance: this allocation is accepted on a hot path
+//	//tdh:wallclock <why>         allowance: this wall-clock read never feeds replayed state
+//	//tdh:pipelineok <why>        allowance: this restricted call is safe outside the pipeline
+//
+// Directives are matched like compiler pragmas: the comment must start
+// exactly with "//tdh:" (no space after "//"). A function-level directive
+// lives in the function's doc comment; a statement-level directive sits on
+// its own line immediately above the statement or trails it on the same
+// line.
+const directivePrefix = "//tdh:"
+
+const (
+	noteHotpath    = "hotpath"
+	notePipeline   = "pipeline"
+	noteMutator    = "mutator"
+	noteOrderOK    = "orderok"
+	noteAllocOK    = "allocok"
+	noteWallclock  = "wallclock"
+	notePipelineOK = "pipelineok"
+)
+
+var knownNotes = map[string]bool{
+	noteHotpath:    true,
+	notePipeline:   true,
+	noteMutator:    true,
+	noteOrderOK:    true,
+	noteAllocOK:    true,
+	noteWallclock:  true,
+	notePipelineOK: true,
+}
+
+// reasonRequired lists the directives that must carry a justification.
+// hotpath is a pure marker; everything else weakens a check and has to say
+// why.
+var reasonRequired = map[string]bool{
+	notePipeline:   true,
+	noteMutator:    true,
+	noteOrderOK:    true,
+	noteAllocOK:    true,
+	noteWallclock:  true,
+	notePipelineOK: true,
+}
+
+// A Note is one parsed //tdh: directive.
+type Note struct {
+	Name   string
+	Reason string
+	Pos    token.Pos
+}
+
+// parseDirective parses a single comment's text as a //tdh: directive.
+func parseDirective(text string) (Note, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Note{}, false
+	}
+	rest := text[len(directivePrefix):]
+	name, reason, _ := strings.Cut(rest, " ")
+	return Note{Name: name, Reason: strings.TrimSpace(reason)}, name != ""
+}
+
+// Notes indexes every //tdh: directive in a package by position so
+// analyzers can answer "is this function/statement annotated?".
+type Notes struct {
+	fset   *token.FileSet
+	byLine map[noteKey][]Note
+	funcs  map[*ast.FuncDecl][]Note
+	all    []Note
+}
+
+type noteKey struct {
+	file string
+	line int
+}
+
+// CollectNotes parses the //tdh: directives of a package.
+func CollectNotes(fset *token.FileSet, files []*ast.File) *Notes {
+	ns := &Notes{
+		fset:   fset,
+		byLine: make(map[noteKey][]Note),
+		funcs:  make(map[*ast.FuncDecl][]Note),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				n, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				n.Pos = c.Pos()
+				p := fset.Position(c.Pos())
+				k := noteKey{p.Filename, p.Line}
+				ns.byLine[k] = append(ns.byLine[k], n)
+				ns.all = append(ns.all, n)
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if n, ok := parseDirective(c.Text); ok {
+					n.Pos = c.Pos()
+					ns.funcs[fd] = append(ns.funcs[fd], n)
+				}
+			}
+		}
+	}
+	return ns
+}
+
+// FuncNote returns the named directive from fd's doc comment.
+func (ns *Notes) FuncNote(fd *ast.FuncDecl, name string) (Note, bool) {
+	for _, n := range ns.funcs[fd] {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Note{}, false
+}
+
+// At returns the named directive attached to the statement at pos: a
+// directive on the same line or on the line directly above.
+func (ns *Notes) At(pos token.Pos, name string) (Note, bool) {
+	p := ns.fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, n := range ns.byLine[noteKey{p.Filename, line}] {
+			if n.Name == name {
+				return n, true
+			}
+		}
+	}
+	return Note{}, false
+}
+
+// All returns every directive in the package, in file order.
+func (ns *Notes) All() []Note { return ns.all }
+
+// TdhNote validates the annotation convention itself: every //tdh:
+// directive must use a known name, and allowance directives must carry a
+// justification. This keeps the escape hatches honest — an undocumented
+// exemption fails the build just like the violation it would hide.
+func TdhNote() *Analyzer {
+	return &Analyzer{
+		Name: "tdhnote",
+		Doc:  "check that //tdh: annotations are well-formed and justified",
+		Run: func(pass *Pass) error {
+			for _, n := range pass.Notes.All() {
+				if !knownNotes[n.Name] {
+					pass.Reportf(n.Pos, "unknown directive //tdh:%s (known: hotpath, pipeline, mutator, orderok, allocok, wallclock, pipelineok)", n.Name)
+					continue
+				}
+				if reasonRequired[n.Name] && n.Reason == "" {
+					pass.Reportf(n.Pos, "//tdh:%s requires a justification: //tdh:%s <why this exemption is sound>", n.Name, n.Name)
+				}
+			}
+			return nil
+		},
+	}
+}

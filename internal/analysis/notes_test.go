@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+func TestTdhNote(t *testing.T) {
+	runTest(t, TdhNote(), "tdhnote")
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		name   string
+		reason string
+	}{
+		{"//tdh:hotpath", true, "hotpath", ""},
+		{"//tdh:orderok keyed writes only", true, "orderok", "keyed writes only"},
+		{"// tdh:hotpath", false, "", ""}, // space after // is not a directive
+		{"// plain comment", false, "", ""},
+		{"//tdh:", false, "", ""},
+	}
+	for _, c := range cases {
+		n, ok := parseDirective(c.text)
+		if ok != c.ok || n.Name != c.name || n.Reason != c.reason {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, n.Name, n.Reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+func TestSymbolMatching(t *testing.T) {
+	if !pathMatches("repro/internal/assign", "internal/assign") {
+		t.Error("trailing-component package match failed")
+	}
+	if pathMatches("repro/internal/assign", "internal/core") {
+		t.Error("mismatched package matched")
+	}
+	if !pathMatches("assign", "assign") {
+		t.Error("exact single-component match failed")
+	}
+	sym := parseSymbol("internal/assign.Plan.Advance")
+	if sym.pkg != "internal/assign" || sym.recv != "Plan" || sym.name != "Advance" {
+		t.Errorf("parseSymbol: got %+v", sym)
+	}
+	sym = parseSymbol("internal/core.Run")
+	if sym.pkg != "internal/core" || sym.recv != "" || sym.name != "Run" {
+		t.Errorf("parseSymbol: got %+v", sym)
+	}
+}

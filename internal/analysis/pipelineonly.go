@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PipelineonlyConfig configures the pipelineonly analyzer.
+type PipelineonlyConfig struct {
+	// CallerPackages lists the package path suffixes where the discipline
+	// is enforced — the serving layer, where request handlers live. The
+	// algorithm packages themselves (core, engine, data) are the
+	// implementation the pipeline calls into and are exempt.
+	CallerPackages []string
+	// Restricted names the state-mutating entry points: "pkg.Func" or
+	// "pkg.Recv.Method" (interface methods match by interface name).
+	Restricted []string
+}
+
+// Pipelineonly restricts calls to state-mutating entry points — model
+// growth, index extension, epoch folds, plan advancement — to the call
+// graph of functions annotated //tdh:pipeline (the coordinator goroutine
+// and the synchronous boot path). Every other function in the serving
+// packages, HTTP handlers above all, must go through the ingest queue; a
+// handler that calls Model.Grow directly races the pipeline no matter how
+// the data is locked, because published snapshots alias the model's
+// backing arrays.
+//
+// Reachability is an intra-package static call graph: an edge per direct
+// call or method call on a concrete receiver within the package. Calls
+// escaping through function values are not traced; annotate the receiving
+// function //tdh:pipeline if it is genuinely pipeline-only.
+func Pipelineonly(cfg PipelineonlyConfig) *Analyzer {
+	restricted := parseSymbols(cfg.Restricted)
+	return &Analyzer{
+		Name: "pipelineonly",
+		Doc:  "restrict state-mutating entry points to the pipeline goroutine's call graph",
+		Run: func(pass *Pass) error {
+			inScope := false
+			for _, p := range cfg.CallerPackages {
+				if pathMatches(pass.Pkg.Path(), p) {
+					inScope = true
+					break
+				}
+			}
+			if !inScope {
+				return nil
+			}
+
+			// Map each declared function to its decl, collect pipeline
+			// roots, and build the intra-package call graph.
+			decls := map[*types.Func]*ast.FuncDecl{}
+			forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+				if fn := declaredFunc(pass.TypesInfo, fd); fn != nil {
+					decls[fn] = fd
+				}
+			})
+			edges := map[*types.Func][]*types.Func{}
+			for fn, fd := range decls {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pass.TypesInfo, call); callee != nil && decls[callee] != nil {
+						edges[fn] = append(edges[fn], callee)
+					}
+					return true
+				})
+			}
+
+			reachable := map[*types.Func]bool{}
+			var queue []*types.Func
+			for fn, fd := range decls {
+				if _, ok := pass.Notes.FuncNote(fd, notePipeline); ok {
+					reachable[fn] = true
+					queue = append(queue, fn)
+				}
+			}
+			for len(queue) > 0 {
+				fn := queue[0]
+				queue = queue[1:]
+				for _, callee := range edges[fn] {
+					if !reachable[callee] {
+						reachable[callee] = true
+						queue = append(queue, callee)
+					}
+				}
+			}
+
+			for fn, fd := range decls {
+				if reachable[fn] {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(pass.TypesInfo, call)
+					if callee == nil || !funcMatches(callee, restricted) {
+						return true
+					}
+					if _, ok := pass.Notes.At(call.Pos(), notePipelineOK); ok {
+						return true
+					}
+					pass.Reportf(call.Pos(), "%s mutates shared state but %s is not reachable from any //tdh:pipeline root; route the mutation through the ingest queue or annotate //tdh:pipelineok <why>", calleeLabel(callee), fn.Name())
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func calleeLabel(fn *types.Func) string {
+	if r := recvTypeName(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

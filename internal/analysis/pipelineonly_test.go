@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestPipelineonly(t *testing.T) {
+	runTest(t, Pipelineonly(PipelineonlyConfig{
+		CallerPackages: []string{"pipelineonly"},
+		Restricted: []string{
+			"pipetypes.Model.Grow",
+			"pipetypes.Model.Fit",
+		},
+	}), "pipelineonly")
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestSnapshotmut(t *testing.T) {
+	runTest(t, Snapshotmut(SnapshotmutConfig{
+		Protected: []string{"snaptypes.Plan", "snaptypes.Snapshot"},
+		Allowed:   []string{"snapshotmut.NewPlan"},
+	}), "snapshotmut")
+}

@@ -1,0 +1,96 @@
+package detreplay
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a replayed/published path"
+}
+
+func gauge() int64 {
+	return time.Now().UnixNano() //tdh:wallclock testdata: diagnostics gauge, never replayed
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn"
+}
+
+func seededPick(n int) int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(n)
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over a map feeds results in nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mirror(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func maxVal(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func total(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want "range over a map feeds results in nondeterministic order"
+		t += v
+	}
+	return t
+}
+
+func annotatedTotal(m map[string]float64) float64 {
+	t := 0.0
+	//tdh:orderok testdata: result is tolerance-compared, bit order is immaterial here
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+var _ = stamp
+var _ = gauge
+var _ = pick
+var _ = seededPick
+var _ = keys
+var _ = sortedKeys
+var _ = count
+var _ = mirror
+var _ = maxVal
+var _ = total
+var _ = annotatedTotal

@@ -1,0 +1,62 @@
+package hotpathalloc
+
+import (
+	"math"
+	"sort"
+)
+
+// inner is hot, so hot code may call it.
+//
+//tdh:hotpath
+func inner(x float64) float64 {
+	return math.Abs(x)
+}
+
+// helper is not hot.
+func helper(x float64) float64 { return x }
+
+type pair struct{ a, b float64 }
+
+//tdh:hotpath
+func hot(xs []float64, n int) float64 {
+	buf := make([]float64, n)                     // want "make allocates"
+	ys := append(xs, 1)                           // want "append allocates"
+	f := func() float64 { return buf[0] + ys[0] } // want "closure literal allocates"
+	zs := []float64{1, 2}                         // want "slice/map literal allocates"
+	p := &pair{a: zs[0]}                          // want "&composite literal escapes to the heap"
+	sort.Float64s(xs)                             // want "call to sort.Float64s may allocate"
+	v := inner(p.a) + helper(xs[1])               // want "call to same-package non-hotpath"
+	var spill []float64
+	if n > 16 {
+		spill = make([]float64, n) //tdh:allocok testdata: spill path for oversized inputs
+	}
+	var acc [4]float64
+	acc[0] = v + f()
+	if spill != nil {
+		acc[0] += spill[0]
+	}
+	return acc[0]
+}
+
+//tdh:hotpath
+func spawn(ch chan int) {
+	defer close(ch) // want "defer allocates its frame"
+	go send(ch)     // want "go statement allocates a goroutine" "call to same-package non-hotpath"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+//tdh:hotpath
+func str(b []byte) string {
+	return string(b) // want "string/byte-slice conversion allocates"
+}
+
+// cold is not annotated, so it may allocate freely.
+func cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+var _ = hot
+var _ = spawn
+var _ = str
+var _ = cold

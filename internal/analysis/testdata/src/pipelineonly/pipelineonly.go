@@ -1,0 +1,31 @@
+package pipelineonly
+
+import "pipetypes"
+
+type server struct{ m *pipetypes.Model }
+
+// loop is the coordinator goroutine.
+//
+//tdh:pipeline testdata: the coordinator owns all state mutation
+func (s *server) loop() {
+	s.apply(1)
+}
+
+// apply is reachable from the pipeline root, so its mutations pass.
+func (s *server) apply(n int) {
+	s.m.Grow(n)
+}
+
+// handler is not in the pipeline call graph.
+func (s *server) handler() {
+	s.m.Grow(1) // want "Model.Grow mutates shared state but handler is not reachable"
+}
+
+// boot is excused at the call site.
+func (s *server) boot() {
+	s.m.Fit() //tdh:pipelineok testdata: boot-time call before the pipeline starts
+}
+
+var _ = (*server).loop
+var _ = (*server).handler
+var _ = (*server).boot

@@ -1,0 +1,12 @@
+// Package pipetypes mirrors the engine's mutable state for the
+// pipelineonly analyzer tests.
+package pipetypes
+
+// Model is a stand-in for the mutable model/engine state.
+type Model struct{ N int }
+
+// Grow mutates the model in place.
+func (m *Model) Grow(n int) { m.N += n }
+
+// Fit refits the model in place.
+func (m *Model) Fit() { m.N = 0 }

@@ -1,0 +1,18 @@
+// Package snaptypes mirrors the shapes of the published types (assign.Plan,
+// server.Snapshot) for the snapshotmut analyzer tests.
+package snaptypes
+
+// Plan is immutable after construction, like assign.Plan.
+type Plan struct {
+	Mu    [][]float64
+	MaxMu []float64
+	Ent   []float64
+	Round int
+}
+
+// Snapshot is published behind an atomic pointer, like server.Snapshot.
+type Snapshot struct {
+	P     *Plan
+	ByObj map[string]int
+	Round int
+}

@@ -1,0 +1,19 @@
+package tdhnote
+
+// hot is a marker directive: no reason required.
+//
+//tdh:hotpath
+func hot() {}
+
+// loop carries a justified allowance directive.
+//
+//tdh:pipeline testdata: the one coordinator goroutine
+func loop() { hot() }
+
+func bad() {
+	_ = 1 /* want "unknown directive" */        //tdh:frobnicate testdata
+	_ = 2 /* want "requires a justification" */ //tdh:orderok
+}
+
+var _ = loop
+var _ = bad

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+)
+
+// The `go vet -vettool` side of the driver. cmd/go invokes the tool once
+// per package with a single *.cfg argument describing the compilation
+// unit; dependencies come as compiler export data in PackageFile. This is
+// the unitchecker protocol, reimplemented on the stdlib.
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+var goMinorVersion = regexp.MustCompile(`^go\d+\.\d+`)
+
+// RunUnit analyzes the single compilation unit described by cfgPath and
+// returns the process exit code for the vet protocol: 0 clean, 2 when
+// diagnostics were reported, 1 on driver failure.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdhlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "tdhlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go expects the facts file regardless; this suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "tdhlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "tdhlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := newExportImporter(fset, cfg.PackageFile)
+	imp.imports = cfg.ImportMap
+	conf := types.Config{Importer: imp}
+	if v := goMinorVersion.FindString(cfg.GoVersion); v != "" {
+		conf.GoVersion = v
+	}
+	info := newTypesInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "tdhlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runAnalyzers(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.pos, d.analyzer, d.msg)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -63,6 +63,8 @@ func entropy(p []float64) float64 {
 }
 
 // maxOf returns the max of a non-empty slice (0 for empty).
+//
+//tdh:hotpath
 func maxOf(p []float64) float64 {
 	m := 0.0
 	for _, x := range p {

@@ -197,6 +197,8 @@ func (e EAI) AssignWithStats(ctx *Context) (map[string][]string, EAIStats) {
 // eaiAt computes EAI(w, o) per Eqs. (14)–(15) with the incremental EM,
 // entirely on ID-indexed model state. oid is the MODEL's dense object ID
 // (-1 when the object is unknown to the fitted model).
+//
+//tdh:hotpath
 func eaiAt(m *core.Model, oid int, psi [3]float64, nObj float64) float64 {
 	if oid < 0 {
 		return 0

@@ -2,9 +2,21 @@ package assign
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 )
+
+// sortedWorkers returns the assignment's worker names in sorted order, so
+// estimate sums (and the sampler's draw sequence) are deterministic.
+func sortedWorkers(assignment map[string][]string) []string {
+	ws := make([]string, 0, len(assignment))
+	for w := range assignment {
+		ws = append(ws, w)
+	}
+	sort.Strings(ws)
+	return ws
+}
 
 // EstimateImprovement reports EAI's own expected accuracy gain for an
 // assignment: the sum of EAI(w,o) over the issued tasks (already scaled by
@@ -16,7 +28,8 @@ func (e EAI) EstimateImprovement(ctx *Context, assignment map[string][]string) f
 	}
 	n := float64(len(ctx.Idx.Objects))
 	total := 0.0
-	for w, objs := range assignment {
+	for _, w := range sortedWorkers(assignment) {
+		objs := assignment[w]
 		psi := m.PsiOf(w)
 		for _, o := range objs {
 			if oid, ok := m.Idx.ObjectID(o); ok {
@@ -35,7 +48,11 @@ func (q QASCA) EstimateImprovement(ctx *Context, assignment map[string][]string)
 	rng := rand.New(rand.NewSource(ctx.Seed + 1))
 	n := float64(len(ctx.Idx.Objects))
 	total := 0.0
-	for w, objs := range assignment {
+	// Iterating the assignment map directly would both sum in random order
+	// and hand the seeded sampler its draws in random order, making the
+	// "deterministic" estimate differ run to run.
+	for _, w := range sortedWorkers(assignment) {
+		objs := assignment[w]
 		t := qascaWorkerQuality(ctx, w)
 		for _, o := range objs {
 			mu := ctx.Res.Confidence[o]

@@ -66,6 +66,8 @@ type Plan struct {
 // defaultScores returns the cold-worker EAI score cache, computing it on
 // first use (goroutine-safe; the plan is shared by concurrent requests).
 // Nil when the plan has no TDH model.
+//
+//tdh:mutator fills the lazy cold-worker cache exactly once behind sync.Once; no reader can observe a partial fill
 func (p *Plan) defaultScores() []float64 {
 	if p.M == nil {
 		return nil

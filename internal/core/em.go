@@ -218,6 +218,8 @@ func (m *Model) step(workers int) float64 {
 // eStepObjects computes, for every claim of objects [lo, hi): the truth
 // posterior f (accumulated into the object's μ numerator) and the
 // relationship-class posterior g (stored per claim for pass B).
+//
+//tdh:hotpath
 func (m *Model) eStepObjects(lo, hi int, muNum []float64, scr *emScratch, f []float64) {
 	for oid := lo; oid < hi; oid++ {
 		ov := m.Idx.ViewAt(oid)
@@ -252,6 +254,8 @@ func (m *Model) eStepObjects(lo, hi int, muNum []float64, scr *emScratch, f []fl
 // posteriorFromRow turns a claim-probability row into the truth posterior
 // f^v in place: f[tr] = P(claim | tr)·μ_tr, normalized (uniform when the
 // total mass underflows to zero).
+//
+//tdh:hotpath
 func posteriorFromRow(f, mu []float64) {
 	z := 0.0
 	for tr, p := range f {
@@ -277,6 +281,8 @@ func posteriorFromRow(f, mu []float64) {
 // whose likelihood merged the exact and generalized cases (Eq. 2 — whole
 // objects outside OH, and candidate truths without candidate ancestors),
 // the exact-match mass splits between classes 1 and 2 in proportion θ₁:θ₂.
+//
+//tdh:hotpath
 func classPosterior(ov *data.ObjectView, c int, theta [3]float64, flat bool, f []float64) [3]float64 {
 	var g [3]float64
 	if flat {
@@ -359,6 +365,8 @@ func (m *Model) mStep(scr *emScratch, workers int) float64 {
 
 // updateMu applies Eq. (9) to objects [lo, hi) and returns the local max
 // confidence delta.
+//
+//tdh:hotpath
 func (m *Model) updateMu(scr *emScratch, lo, hi int) float64 {
 	gamma := m.Opt.Gamma
 	localMax := 0.0
@@ -385,6 +393,8 @@ func (m *Model) updateMu(scr *emScratch, lo, hi int) float64 {
 
 // updatePhi applies Eq. (10) to sources [lo, hi), reducing the per-claim
 // class posteriors through the CSR transpose in index order.
+//
+//tdh:hotpath
 func (m *Model) updatePhi(scr *emScratch, lo, hi int) {
 	alphaSum := m.Opt.Alpha[0] + m.Opt.Alpha[1] + m.Opt.Alpha[2] - 3
 	for sid := lo; sid < hi; sid++ {
@@ -409,6 +419,8 @@ func (m *Model) updatePhi(scr *emScratch, lo, hi int) {
 }
 
 // updatePsi applies Eq. (11) to workers [lo, hi).
+//
+//tdh:hotpath
 func (m *Model) updatePsi(scr *emScratch, lo, hi int) {
 	betaSum := m.Opt.Beta[0] + m.Opt.Beta[1] + m.Opt.Beta[2] - 3
 	for wid := lo; wid < hi; wid++ {
@@ -494,6 +506,7 @@ func (m *Model) refreshSufficientStats() {
 	wg.Wait()
 }
 
+//tdh:hotpath
 func normalize3(v [3]float64) [3]float64 {
 	s := v[0] + v[1] + v[2]
 	if s <= 0 {

@@ -70,6 +70,8 @@ func (m *Model) CondMaxConfidence(o string, psi [3]float64, ans int) float64 {
 
 // CondMaxConfidenceAt is CondMaxConfidence by dense object ID — the inner
 // loop of the EAI assigner.
+//
+//tdh:hotpath
 func (m *Model) CondMaxConfidenceAt(oid int, psi [3]float64, ans int) float64 {
 	ov := m.Idx.ViewAt(oid)
 	mu := m.Mu[oid]
@@ -82,7 +84,7 @@ func (m *Model) CondMaxConfidenceAt(oid int, psi [3]float64, ans int) float64 {
 	if nVals <= len(raw) {
 		rawS = raw[:nVals]
 	} else {
-		rawS = make([]float64, nVals)
+		rawS = make([]float64, nVals) //tdh:allocok spill for >16-candidate objects; absent in steady state
 	}
 	for tr := 0; tr < nVals; tr++ {
 		p := m.workerClaimProb(ov, ans, tr, psi) * mu[tr]

@@ -14,6 +14,8 @@ import "repro/internal/data"
 // ancestor-descendant pair among its candidates (o ∉ OH), or the flat-model
 // ablation. Eq. (2) merges the exact and generalized cases so that φ₂ is
 // not underestimated on such objects.
+//
+//tdh:hotpath
 func flatObject(m *Model, ov *data.ObjectView) bool {
 	return m.Opt.FlatModel || !ov.CI.Hier
 }
@@ -28,6 +30,8 @@ func flatObject(m *Model, ov *data.ObjectView) bool {
 // paper's Eq. (1) leaves these corner truths undefined (|Go(v*)| = 0 makes
 // its second case 0/0); conditioning on the possible cases is the natural
 // completion and reduces to Eq. (1) whenever all three cases exist.
+//
+//tdh:hotpath
 func caseScale(theta [3]float64, genPossible, wrongPossible bool) float64 {
 	s := theta[0]
 	if genPossible {
@@ -44,6 +48,8 @@ func caseScale(theta [3]float64, genPossible, wrongPossible bool) float64 {
 
 // caseScaleTab precomputes caseScale for the four possibility masks, so the
 // per-truth scale inside a row fill is a table lookup.
+//
+//tdh:hotpath
 func caseScaleTab(theta [3]float64) [4]float64 {
 	return [4]float64{
 		caseScale(theta, false, false),
@@ -55,6 +61,8 @@ func caseScaleTab(theta [3]float64) [4]float64 {
 
 // sourceClaimRow fills dst[tr] = P(v_o^s = c | v*_o = tr, φs) for every
 // truth tr (Eqs. 1 and 2).
+//
+//tdh:hotpath
 func (m *Model) sourceClaimRow(ov *data.ObjectView, c int, phi [3]float64, flat bool, dst []float64) {
 	nV := len(dst)
 	if flat {
@@ -113,6 +121,8 @@ func (m *Model) sourceClaimRow(ov *data.ObjectView, c int, phi [3]float64, flat 
 // workerClaimRow fills dst[tr] = P(v_o^w = c | v*_o = tr, ψw) for every
 // truth tr (Eqs. 3 and 4), mixing the popularity distributions Pop2/Pop3
 // computed from the source records unless the ablation flag disables them.
+//
+//tdh:hotpath
 func (m *Model) workerClaimRow(ov *data.ObjectView, c int, psi [3]float64, flat bool, dst []float64) {
 	nV := len(dst)
 	uniform := m.Opt.UniformWorkerErrors
@@ -191,6 +201,8 @@ func (m *Model) workerClaimRow(ov *data.ObjectView, c int, psi [3]float64, flat 
 }
 
 // sourceClaimProb implements Eqs. (1) and (2): P(v_o^s = c | v*_o = tr, φs).
+//
+//tdh:hotpath
 func (m *Model) sourceClaimProb(ov *data.ObjectView, c, tr int, phi [3]float64) float64 {
 	nV := ov.CI.NumValues()
 	if flatObject(m, ov) {
@@ -218,6 +230,8 @@ func (m *Model) sourceClaimProb(ov *data.ObjectView, c, tr int, phi [3]float64) 
 }
 
 // workerClaimProb implements Eqs. (3) and (4): P(v_o^w = c | v*_o = tr, ψw).
+//
+//tdh:hotpath
 func (m *Model) workerClaimProb(ov *data.ObjectView, c, tr int, psi [3]float64) float64 {
 	nV := ov.CI.NumValues()
 	if flatObject(m, ov) {
@@ -274,6 +288,8 @@ func (m *Model) AnswerLikelihood(o string, psi [3]float64, c int) float64 {
 }
 
 // AnswerLikelihoodAt is AnswerLikelihood by dense object ID.
+//
+//tdh:hotpath
 func (m *Model) AnswerLikelihoodAt(oid int, psi [3]float64, c int) float64 {
 	ov := m.Idx.ViewAt(oid)
 	mu := m.Mu[oid]
@@ -284,6 +300,7 @@ func (m *Model) AnswerLikelihoodAt(oid int, psi [3]float64, c int) float64 {
 	return p
 }
 
+//tdh:hotpath
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

@@ -85,6 +85,7 @@ func Load(r io.Reader, idx *data.Index) (*Model, error) {
 		copy(m.N[oid], n)
 		m.D[oid] = sn.D[o]
 	}
+	//tdh:orderok each source name maps to a unique dense ID, so Phi rows are written disjointly
 	for s, v := range sn.Phi {
 		if len(v) != 3 {
 			return nil, fmt.Errorf("core: phi(%s) has %d entries", s, len(v))
@@ -93,6 +94,7 @@ func Load(r io.Reader, idx *data.Index) (*Model, error) {
 			m.Phi[sid] = [3]float64{v[0], v[1], v[2]}
 		}
 	}
+	//tdh:orderok each worker name maps to a unique dense ID, so Psi rows are written disjointly
 	for w, v := range sn.Psi {
 		if len(v) != 3 {
 			return nil, fmt.Errorf("core: psi(%s) has %d entries", w, len(v))

@@ -66,6 +66,7 @@ func (st *multiState) Quality(ds *data.Dataset, idx *data.Index) map[string]floa
 	return map[string]float64{"precision": sc.Precision, "recall": sc.Recall, "f1": sc.F1}
 }
 
+//tdh:mutator builds a fresh Result for the next state; nothing aliases it until the state is returned
 func (e *multiEngine) Fit(idx *data.Index) State {
 	sets := e.disc.Discover(idx)
 

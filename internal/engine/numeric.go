@@ -90,6 +90,9 @@ func (e *numericEngine) Grow(st State, idx *data.Index, touched []int) (State, b
 	return e.estimate(idx), true
 }
 
+// estimate recomputes the numeric state from the full working dataset.
+//
+//tdh:mutator builds a fresh Result for the next state; nothing aliases it until the state is returned
 func (e *numericEngine) estimate(idx *data.Index) *numState {
 	ds := idx.DS
 	recs := make([]data.Record, 0, len(ds.Records)+len(ds.Answers))

@@ -130,6 +130,7 @@ func (a Accu) Infer(idx *data.Index) *Result {
 			break
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range trust {
 		res.setTrust(p, t)
 	}
@@ -232,12 +233,14 @@ func (a Accu) dependenceDiscount(idx *data.Index, res *Result, trust map[provide
 	// form a copy-suspect clique; more accurate providers are treated as
 	// originals (processed first), per ACCU's ordering heuristic.
 	out := make(map[string]map[provider]float64, len(objClaims))
+	//tdh:orderok out is keyed by object and each object's clique discount is self-contained
 	for o, cls := range objClaims {
 		byVal := map[int][]claim{}
 		for _, cl := range cls {
 			byVal[cl.c] = append(byVal[cl.c], cl)
 		}
 		m := make(map[provider]float64, len(cls))
+		//tdh:orderok cliques are disjoint (one claim per provider per object), so m writes are keyed
 		for _, group := range byVal {
 			if len(group) == 1 {
 				m[group[0].p] = 1

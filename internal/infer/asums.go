@@ -137,6 +137,7 @@ func (a ASUMS) Infer(idx *data.Index) *Result {
 	}
 	// Per-provider normalized trust, scaled to the average belief of its
 	// claims (the t(s) plotted in Figure 5).
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range trust {
 		if counts[p] > 0 {
 			res.setTrust(p, t)

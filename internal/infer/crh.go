@@ -100,6 +100,7 @@ func (c CRH) Infer(idx *data.Index) *Result {
 			acc[cl.p] = a
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, a := range acc {
 		if a[1] > 0 {
 			res.setTrust(p, a[0]/a[1])

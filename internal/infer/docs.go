@@ -130,6 +130,7 @@ func (dc DOCS) Infer(idx *data.Index) *Result {
 			cnt[cl.p]++
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p := range sum {
 		if cnt[p] > 0 {
 			res.setTrust(p, sum[p]/float64(cnt[p]))

@@ -108,6 +108,7 @@ func (l LCA) Infer(idx *data.Index) *Result {
 			break
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range theta {
 		res.setTrust(p, t)
 	}

@@ -1,6 +1,8 @@
 package infer
 
 import (
+	"sort"
+
 	"repro/internal/data"
 )
 
@@ -128,10 +130,18 @@ func (l LFC) Infer(idx *data.Index) *Result {
 		}
 	}
 	// Trust = expected diagonal mass of the confusion model.
+	//tdh:orderok per-provider totals are loop-local and setTrust is keyed; providers are independent
 	for p, pm := range cm {
 		var diag, tot float64
-		for tv, r := range pm {
-			diag += r[tv]
+		// Sum the diagonal in sorted truth order: float addition is not
+		// associative, so map order would leak into the published bits.
+		tvs := make([]string, 0, len(pm))
+		for tv := range pm {
+			tvs = append(tvs, tv)
+		}
+		sort.Strings(tvs)
+		for _, tv := range tvs {
+			diag += pm[tv][tv]
 			tot += rowTotal[p][tv]
 		}
 		if tot > 0 {

@@ -124,6 +124,7 @@ func (m MDC) Infer(idx *data.Index) *Result {
 			break
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, r := range rel {
 		res.setTrust(p, r)
 	}

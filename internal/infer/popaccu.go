@@ -88,6 +88,7 @@ func (pa PopAccu) Infer(idx *data.Index) *Result {
 			break
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range trust {
 		res.setTrust(p, t)
 	}

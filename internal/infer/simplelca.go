@@ -90,6 +90,7 @@ func (l SimpleLCA) Infer(idx *data.Index) *Result {
 			break
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range theta {
 		res.setTrust(p, t)
 	}

@@ -98,6 +98,7 @@ func (su Sums) Infer(idx *data.Index) *Result {
 		copy(conf, belief[o])
 		normalize(conf)
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range trust {
 		res.setTrust(p, t)
 	}

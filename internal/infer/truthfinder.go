@@ -115,6 +115,7 @@ func (tf TruthFinder) Infer(idx *data.Index) *Result {
 		copy(c, conf[o])
 		normalize(c)
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, t := range trust {
 		res.setTrust(p, t)
 	}

@@ -52,6 +52,7 @@ func (Vote) Infer(idx *data.Index) *Result {
 			agree[cl.p] = a
 		}
 	}
+	//tdh:orderok setTrust writes one keyed entry per provider; iteration order is immaterial
 	for p, a := range agree {
 		if a[1] > 0 {
 			res.setTrust(p, float64(a[0])/float64(a[1]))

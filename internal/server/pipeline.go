@@ -146,6 +146,9 @@ func (p *pipeline) publish(touched []int, local bool) {
 	prev := p.s.current.Load()
 	sn := &Snapshot{
 		Idx: p.idx, St: p.st, Res: p.st.Res(), Round: p.round,
+		// PublishedAt is observability metadata (snapshot age in /stats);
+		// replay rebuilds state from the log, never timestamps.
+		//tdh:wallclock snapshot age metadata; never fed back into replayed state
 		Answers: p.applied, Mutations: p.mutApplied, PublishedAt: time.Now(),
 	}
 	var plan *assign.Plan
@@ -197,7 +200,7 @@ func (p *pipeline) markDirty(n int) {
 		return
 	}
 	if p.sinceRefit == 0 {
-		p.staleSince = time.Now()
+		p.staleSince = time.Now() //tdh:wallclock refit-scheduling heuristic; not part of logged or replayed state
 	}
 	p.sinceRefit += n
 }
@@ -375,6 +378,9 @@ func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutat
 
 // loop is the coordinator goroutine. It exits when Server.Close signals
 // quit, after flushing every queued item into a final snapshot.
+//
+//tdh:pipeline the coordinator goroutine is the sole mutator of model, index and plan state
+//tdh:wallclock the ticker and refit-staleness checks read the clock for scheduling only; logged state never does
 func (p *pipeline) loop() {
 	defer close(p.s.doneCh)
 	tick := time.NewTicker(p.tickInterval())

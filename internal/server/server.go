@@ -186,6 +186,8 @@ func (s *Server) beginIngest() bool {
 
 // New builds a Server, runs the initial inference synchronously, and starts
 // the inference pipeline.
+//
+//tdh:pipeline boot-time construction: the pipeline goroutine has not started, so New owns all state
 func New(cfg Config) (*Server, error) {
 	if cfg.Dataset == nil {
 		return nil, errors.New("server: nil dataset")
@@ -745,7 +747,7 @@ func (s *Server) stats() Stats {
 		st.ShardQueueDepth[i] = len(ch)
 	}
 	if !snap.PublishedAt.IsZero() {
-		st.SnapshotAgeMS = time.Since(snap.PublishedAt).Milliseconds()
+		st.SnapshotAgeMS = time.Since(snap.PublishedAt).Milliseconds() //tdh:wallclock diagnostics gauge in /stats
 	}
 	if st.HasGold {
 		st.Quality = snap.St.Quality(base, snap.Idx)

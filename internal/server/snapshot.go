@@ -59,6 +59,8 @@ type Snapshot struct {
 // snapshot before publishing it, so this is a plain read on the request
 // path; the lazy build only runs for snapshots constructed outside the
 // pipeline (tests, embedders).
+//
+//tdh:mutator attaches the lazily built plan exactly once behind sync.Once; every reader sees the same plan
 func (sn *Snapshot) Plan() *assign.Plan {
 	sn.planOnce.Do(func() { sn.plan = assign.NewPlan(sn.Idx, sn.Res) })
 	return sn.plan
@@ -66,6 +68,8 @@ func (sn *Snapshot) Plan() *assign.Plan {
 
 // setPlan attaches a pipeline-maintained plan before publication, winning
 // the once so later Plan() calls return it unchanged.
+//
+//tdh:mutator wins the sync.Once before the snapshot is published; no reader exists yet
 func (sn *Snapshot) setPlan(p *assign.Plan) {
 	sn.planOnce.Do(func() { sn.plan = p })
 }
