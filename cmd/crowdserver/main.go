@@ -38,6 +38,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/engine"
 	"repro/internal/eventlog"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -57,6 +58,7 @@ func main() {
 		refitAge  = flag.Duration("refit-staleness", 0, "full refit when unrefitted answers are older than this (0 = default 2s, <0 = never) (single-campaign mode)")
 		batch     = flag.Int("batch", 0, "max answers folded per shard per incremental step (0 = default 64) (single-campaign mode)")
 		queue     = flag.Int("queue", 0, "total ingest queue size before /answer applies backpressure (0 = default 1024) (single-campaign mode)")
+		rejectQ   = flag.Int("reject-queue", 0, "shard queue depth above which /answer returns 429 + Retry-After instead of blocking (0 = blocking backpressure) (single-campaign mode)")
 		shards    = flag.Int("shards", 0, "ingest pipeline shards folded concurrently (0 = GOMAXPROCS capped at 8, <0 = 1) (single-campaign mode; multi-campaign policy is per-campaign)")
 		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (single-campaign mode)")
 		pprofOn   = flag.Bool("pprof", true, "serve net/http/pprof profiling endpoints under /debug/pprof/")
@@ -87,11 +89,12 @@ func main() {
 		handler, closer = mgr.Handler(), mgr
 	} else {
 		srv, cl, err := singleCampaign(*in, *model, *alg, *asgName, *k, *logPath, *seed, *workers, server.RefitPolicy{
-			MaxAnswers:   *refitN,
-			MaxStaleness: *refitAge,
-			BatchSize:    *batch,
-			QueueSize:    *queue,
-			Shards:       *shards,
+			MaxAnswers:       *refitN,
+			MaxStaleness:     *refitAge,
+			BatchSize:        *batch,
+			QueueSize:        *queue,
+			Shards:           *shards,
+			RejectQueueDepth: *rejectQ,
 		}, *open)
 		if err != nil {
 			fatal(err)
@@ -177,6 +180,9 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 	if err != nil {
 		return nil, nil, err
 	}
+	// One registry for the whole process: the coordinator and the event log
+	// share it, and GET /metrics serves it from the server mux.
+	reg := obs.NewRegistry()
 	cfg := server.Config{
 		Dataset:     ds,
 		Engine:      eng,
@@ -185,6 +191,7 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 		Seed:        seed,
 		Policy:      policy,
 		OpenAnswers: open,
+		Metrics:     reg,
 	}
 	var l *eventlog.Log
 	if logPath != "" {
@@ -198,7 +205,7 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 			fmt.Printf("recovered %d answers, %d objects, %d records from %s (%d malformed lines skipped, %d duplicates dropped)\n",
 				res.Answers, res.Objects, res.Records, logPath, res.Skipped, res.Duplicates)
 		}
-		if l, err = eventlog.Open(logPath); err != nil {
+		if l, err = eventlog.Open(logPath, eventlog.WithMetrics(eventlog.NewMetrics(reg))); err != nil {
 			return nil, nil, err
 		}
 		cfg.Log = l

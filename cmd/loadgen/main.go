@@ -1,0 +1,518 @@
+// Command loadgen is the capacity harness: it drives a synthetic worker
+// fleet through the real multi-campaign HTTP API — closed-loop task→answer
+// cycles, optional open-world object injection — while stepping the offered
+// load (concurrent workers), and emits a capacity curve: throughput vs
+// client-side p50/p95/p99 latency and server-side snapshot age per step.
+// This is how the scale claims in the README are produced, and the CI smoke
+// mode (-smoke) asserts the server sustains load without 5xx responses.
+//
+// Two modes:
+//
+//	loadgen -addr http://localhost:8080        drive a running crowdserver
+//	loadgen                                    self-contained: in-process
+//	                                           manager in a temp dir
+//
+// Either way loadgen creates its own synthetic campaigns (internal/synth
+// Heritages-like datasets) and never touches pre-existing ones.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/data"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a running crowdserver in multi-campaign mode (empty = run an in-process manager in a temp dir)")
+		nCampaign = flag.Int("campaigns", 2, "synthetic campaigns to create and drive")
+		scale     = flag.Float64("scale", 0.15, "synthetic dataset scale (1.0 = paper-sized Heritages)")
+		steps     = flag.String("steps", "8,16,32,64,128", "comma-separated offered-load steps (concurrent closed-loop workers)")
+		stepDur   = flag.Duration("step-duration", 10*time.Second, "time spent at each load step")
+		k         = flag.Int("k", 5, "questions per task request")
+		rejectQ   = flag.Int("reject-queue", 0, "per-campaign admission-control bound (0 = blocking backpressure)")
+		inject    = flag.Duration("inject", 0, "interval between open-world object injections per campaign (0 = off)")
+		out       = flag.String("out", "", "write the capacity curve JSON here (empty = stdout)")
+		seed      = flag.Int64("seed", 7, "deterministic fleet seed")
+		smoke     = flag.Bool("smoke", false, "CI smoke mode: short ramp, then exit nonzero unless throughput > 0 and no 5xx was seen")
+	)
+	flag.Parse()
+	if *smoke {
+		// A bounded self-contained ramp: small datasets, ~15s of driving.
+		*nCampaign, *scale, *steps, *stepDur = 1, 0.05, "4,8,16", 5*time.Second
+	}
+
+	counts, err := parseSteps(*steps)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	var cleanup func()
+	if base == "" {
+		base, cleanup, err = inProcessManager()
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		tc := t.Clone()
+		tc.MaxIdleConnsPerHost = 1024 // the fleet reuses connections instead of churning ports
+		client.Transport = tc
+	}
+
+	run := &run{
+		base:   base,
+		client: client,
+		seed:   *seed,
+		k:      *k,
+	}
+	if err := run.createCampaigns(*nCampaign, *scale, *rejectQ); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: driving %d campaigns at %s, steps %v × %s\n",
+		len(run.campaigns), base, counts, *stepDur)
+
+	curve := capacityCurve{
+		GeneratedBy: "cmd/loadgen",
+		Config: curveConfig{
+			Campaigns: *nCampaign, Scale: *scale, K: *k, Seed: *seed,
+			RejectQueueDepth: *rejectQ, StepSeconds: stepDur.Seconds(),
+			InjectEvery: inject.String(),
+		},
+	}
+	for _, n := range counts {
+		st := run.step(n, *stepDur, *inject)
+		curve.Steps = append(curve.Steps, st)
+		fmt.Fprintf(os.Stderr, "loadgen: %4d workers: %8.1f answers/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  429s %d  5xx %d  snap-age %.3fs\n",
+			n, st.AnswersPerSec, st.AnswerP50Ms, st.AnswerP95Ms, st.AnswerP99Ms, st.Rejected, st.Server5xx, st.SnapshotAgeSec)
+	}
+
+	buf, err := json.MarshalIndent(curve, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *smoke {
+		var answers, errs int64
+		for _, st := range curve.Steps {
+			answers += st.Answers
+			errs += st.Server5xx + st.Transport
+		}
+		if answers == 0 || errs > 0 {
+			fatal(fmt.Errorf("smoke failed: %d answers accepted, %d 5xx/transport errors", answers, errs))
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: smoke ok (%d answers, 0 errors)\n", answers)
+	}
+}
+
+func parseSteps(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("loadgen: invalid -steps element %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: -steps is empty")
+	}
+	return out, nil
+}
+
+// inProcessManager boots a campaign manager in a temp dir behind an
+// httptest server: the self-contained mode CI's smoke step uses.
+func inProcessManager() (base string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "loadgen-*")
+	if err != nil {
+		return "", nil, err
+	}
+	mgr, err := campaign.Open(dir, campaign.Options{})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ts := httptest.NewServer(mgr.Handler())
+	return ts.URL, func() {
+		ts.Close()
+		mgr.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// run is the shared fleet state across load steps.
+type run struct {
+	base   string
+	client *http.Client
+	seed   int64
+	k      int
+
+	campaigns []string // campaign ids
+	values    []string // hierarchy-valid value pool for injected objects
+	injected  atomic.Int64
+}
+
+// createCampaigns materializes n live synthetic campaigns over the API.
+func (r *run) createCampaigns(n int, scale float64, rejectQ int) error {
+	for i := 0; i < n; i++ {
+		ds := synth.Heritages(synth.HeritagesConfig{Seed: r.seed + int64(i), Scale: scale})
+		if i == 0 {
+			r.values = valuePool(ds, 256)
+		}
+		var raw bytes.Buffer
+		if err := data.Write(&raw, ds); err != nil {
+			return err
+		}
+		id := fmt.Sprintf("lg-%d-%02d", r.seed, i)
+		req := campaign.CreateRequest{
+			Spec: campaign.Spec{
+				ID:          id,
+				K:           r.k,
+				Seed:        r.seed,
+				OpenAnswers: true,
+				Policy:      campaign.PolicySpec{RejectQueueDepth: rejectQ},
+			},
+			State:   campaign.StateLive,
+			Dataset: raw.Bytes(),
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := r.client.Post(r.base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("loadgen: creating campaign %s: %s: %s", id, resp.Status, msg)
+		}
+		r.campaigns = append(r.campaigns, id)
+	}
+	return nil
+}
+
+// valuePool collects distinct record values — hierarchy members by
+// construction — to seed injected objects' candidate sets.
+func valuePool(ds *data.Dataset, max int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rec := range ds.Records {
+		if !seen[rec.Value] {
+			seen[rec.Value] = true
+			out = append(out, rec.Value)
+			if len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// stepResult is one point on the capacity curve.
+type stepResult struct {
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	Answers        int64   `json:"answers_accepted"`
+	AnswersPerSec  float64 `json:"answers_per_sec"`
+	Tasks          int64   `json:"task_requests"`
+	Rejected       int64   `json:"rejected_429"`
+	Conflicts      int64   `json:"conflict_409"`
+	Server5xx      int64   `json:"server_5xx"`
+	Transport      int64   `json:"transport_errors"`
+	Injected       int64   `json:"objects_injected"`
+	TaskP50Ms      float64 `json:"task_p50_ms"`
+	TaskP95Ms      float64 `json:"task_p95_ms"`
+	TaskP99Ms      float64 `json:"task_p99_ms"`
+	AnswerP50Ms    float64 `json:"answer_p50_ms"`
+	AnswerP95Ms    float64 `json:"answer_p95_ms"`
+	AnswerP99Ms    float64 `json:"answer_p99_ms"`
+	SnapshotAgeSec float64 `json:"snapshot_age_seconds"`
+}
+
+type curveConfig struct {
+	Campaigns        int     `json:"campaigns"`
+	Scale            float64 `json:"scale"`
+	K                int     `json:"k"`
+	Seed             int64   `json:"seed"`
+	RejectQueueDepth int     `json:"reject_queue_depth"`
+	StepSeconds      float64 `json:"step_seconds"`
+	InjectEvery      string  `json:"inject_every"`
+}
+
+type capacityCurve struct {
+	GeneratedBy string       `json:"generated_by"`
+	Config      curveConfig  `json:"config"`
+	Steps       []stepResult `json:"steps"`
+}
+
+// stepCounters is the fleet's shared accounting for one load step. The
+// latency histograms are the repo's own obs instruments, reused client-side.
+type stepCounters struct {
+	taskDur   *obs.Histogram
+	answerDur *obs.Histogram
+	answers   atomic.Int64
+	tasks     atomic.Int64
+	rejected  atomic.Int64
+	conflicts atomic.Int64
+	fiveXX    atomic.Int64
+	transport atomic.Int64
+}
+
+// step runs one load level: workers closed-loop goroutines for d, plus the
+// injection ticker, then a /metrics scrape for the server-side signals.
+func (r *run) step(workers int, d, inject time.Duration) stepResult {
+	reg := obs.NewRegistry()
+	c := &stepCounters{
+		taskDur:   reg.Histogram("task_seconds", "", obs.LatencyBuckets()),
+		answerDur: reg.Histogram("answer_seconds", "", obs.LatencyBuckets()),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(ctx, w, c)
+		}(w)
+	}
+	if inject > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.injector(ctx, inject, c)
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	snapAge := r.scrapeSnapshotAge()
+	ms := func(q float64, h *obs.Histogram) float64 { return h.Quantile(q) * 1000 }
+	return stepResult{
+		Workers:        workers,
+		Seconds:        elapsed,
+		Answers:        c.answers.Load(),
+		AnswersPerSec:  float64(c.answers.Load()) / elapsed,
+		Tasks:          c.tasks.Load(),
+		Rejected:       c.rejected.Load(),
+		Conflicts:      c.conflicts.Load(),
+		Server5xx:      c.fiveXX.Load(),
+		Transport:      c.transport.Load(),
+		Injected:       r.injected.Load(),
+		TaskP50Ms:      ms(0.50, c.taskDur),
+		TaskP95Ms:      ms(0.95, c.taskDur),
+		TaskP99Ms:      ms(0.99, c.taskDur),
+		AnswerP50Ms:    ms(0.50, c.answerDur),
+		AnswerP95Ms:    ms(0.95, c.answerDur),
+		AnswerP99Ms:    ms(0.99, c.answerDur),
+		SnapshotAgeSec: snapAge,
+	}
+}
+
+// worker is one closed-loop simulated crowd worker: fetch a task bundle,
+// answer every question in it, repeat; when a campaign stops handing out
+// tasks (this identity answered everything reachable) the goroutine rotates
+// to a fresh worker identity, so offered load never dries up mid-step.
+func (r *run) worker(ctx context.Context, id int, c *stepCounters) {
+	rng := rand.New(rand.NewSource(r.seed ^ int64(id)*0x9e3779b9))
+	epoch := 0
+	for ctx.Err() == nil {
+		camp := r.campaigns[rng.Intn(len(r.campaigns))]
+		name := fmt.Sprintf("w%04d-e%d", id, epoch)
+		tasks, ok := r.getTasks(ctx, camp, name, c)
+		if !ok {
+			continue
+		}
+		if len(tasks) == 0 {
+			epoch++ // exhausted identity: rotate
+			continue
+		}
+		for _, t := range tasks {
+			if ctx.Err() != nil || len(t.Candidates) == 0 {
+				return
+			}
+			r.postAnswer(ctx, camp, name, t.Object, t.Candidates[rng.Intn(len(t.Candidates))], c)
+		}
+	}
+}
+
+type wireTask struct {
+	Object     string   `json:"object"`
+	Candidates []string `json:"candidates"`
+}
+
+func (r *run) getTasks(ctx context.Context, camp, worker string, c *stepCounters) ([]wireTask, bool) {
+	url := fmt.Sprintf("%s/v1/campaigns/%s/task?worker=%s", r.base, camp, worker)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	c.taskDur.Observe(time.Since(start).Seconds())
+	c.tasks.Add(1)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.transport.Add(1)
+		}
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		c.fiveXX.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	var body struct {
+		Tasks []wireTask `json:"tasks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		c.transport.Add(1)
+		return nil, false
+	}
+	return body.Tasks, true
+}
+
+func (r *run) postAnswer(ctx context.Context, camp, worker, object, value string, c *stepCounters) {
+	body, _ := json.Marshal(map[string]string{"object": object, "worker": worker, "value": value})
+	url := fmt.Sprintf("%s/v1/campaigns/%s/answer", r.base, camp)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	c.answerDur.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if ctx.Err() == nil {
+			c.transport.Add(1)
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.answers.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.rejected.Add(1)
+	case resp.StatusCode == http.StatusConflict:
+		c.conflicts.Add(1)
+	case resp.StatusCode >= 500:
+		c.fiveXX.Add(1)
+	}
+}
+
+// injector grows campaigns while the fleet answers: every interval it POSTs
+// one new object with candidates sampled from the hierarchy-valid value
+// pool, exercising the open-world ingest path under load.
+func (r *run) injector(ctx context.Context, every time.Duration, c *stepCounters) {
+	if len(r.values) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(r.seed + 1))
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		camp := r.campaigns[rng.Intn(len(r.campaigns))]
+		n := r.injected.Add(1)
+		cands := make([]string, 0, 3)
+		for len(cands) < 3 {
+			cands = append(cands, r.values[rng.Intn(len(r.values))])
+		}
+		body, _ := json.Marshal(map[string]any{
+			"object":     fmt.Sprintf("lg:obj:%d", n),
+			"candidates": cands,
+		})
+		url := fmt.Sprintf("%s/v1/campaigns/%s/objects", r.base, camp)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.transport.Add(1)
+			}
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			c.fiveXX.Add(1)
+		}
+	}
+}
+
+// scrapeSnapshotAge reads the manager's aggregated /metrics and returns the
+// worst (max) tdh_snapshot_age_seconds across the driven campaigns — the
+// staleness a reader could observe at this load level.
+func (r *run) scrapeSnapshotAge() float64 {
+	resp, err := r.client.Get(r.base + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return -1
+	}
+	worst := 0.0
+	for _, line := range strings.Split(string(buf), "\n") {
+		if !strings.HasPrefix(line, "tdh_snapshot_age_seconds") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil && v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -100,11 +100,12 @@ func DefaultPipelineonly() PipelineonlyConfig {
 	}
 }
 
-// DefaultHotpathalloc: hot paths may call math and each other; anything
-// else is assumed to allocate.
+// DefaultHotpathalloc: hot paths may call math, sync/atomic (atomic ops
+// never allocate; the obs instruments' hot methods are built on them) and
+// each other; anything else is assumed to allocate.
 func DefaultHotpathalloc() HotpathallocConfig {
 	return HotpathallocConfig{
-		AllowedStdlib:  []string{"math", "math/bits"},
+		AllowedStdlib:  []string{"math", "math/bits", "sync/atomic"},
 		ModulePrefixes: []string{"repro"},
 	}
 }

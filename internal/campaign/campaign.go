@@ -49,6 +49,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/engine"
 	"repro/internal/eventlog"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -81,15 +82,21 @@ type PolicySpec struct {
 	// Shards sets the campaign's ingest shard count (0 = server default:
 	// GOMAXPROCS capped at 8; <0 = 1).
 	Shards int `json:"shards,omitempty"`
+	// RejectQueueDepth, when > 0, turns on admission control: answers
+	// targeting a shard with at least this many accepted-but-unfolded items
+	// are rejected with 429 + Retry-After instead of blocking (0 keeps
+	// blocking backpressure).
+	RejectQueueDepth int `json:"reject_queue_depth,omitempty"`
 }
 
 func (p PolicySpec) refitPolicy() server.RefitPolicy {
 	return server.RefitPolicy{
-		MaxAnswers:   p.RefitAnswers,
-		MaxStaleness: time.Duration(p.RefitStalenessMS) * time.Millisecond,
-		BatchSize:    p.BatchSize,
-		QueueSize:    p.QueueSize,
-		Shards:       p.Shards,
+		MaxAnswers:       p.RefitAnswers,
+		MaxStaleness:     time.Duration(p.RefitStalenessMS) * time.Millisecond,
+		BatchSize:        p.BatchSize,
+		QueueSize:        p.QueueSize,
+		Shards:           p.Shards,
+		RejectQueueDepth: p.RejectQueueDepth,
 	}
 }
 
@@ -171,6 +178,17 @@ func (c *Campaign) serveInfo() (State, http.Handler) {
 	return c.meta.State, c.handler
 }
 
+// metricsRegistry returns the campaign's metrics registry, or nil while the
+// campaign is a draft (no coordinator, nothing to scrape).
+func (c *Campaign) metricsRegistry() *obs.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.srv == nil {
+		return nil
+	}
+	return c.srv.Metrics()
+}
+
 // boot loads the campaign's dataset, replays its event log into it —
 // answers, object adds and record adds interleaved in acknowledgment order
 // — and starts the coordinator. With openLog, the log is opened for
@@ -203,6 +221,11 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 	if err != nil {
 		return fmt.Errorf("campaign %s: %w: %v", c.meta.ID, ErrConfig, err)
 	}
+	// One registry per campaign, shared by the coordinator and its event
+	// log; the Manager scrapes them all under a campaign label (GET
+	// /metrics) and each campaign serves its own at
+	// /v1/campaigns/{id}/metrics.
+	reg := obs.NewRegistry()
 	cfg := server.Config{
 		Dataset:     ds,
 		Engine:      eng,
@@ -211,10 +234,11 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 		Seed:        c.meta.Seed,
 		Policy:      c.meta.Policy.refitPolicy(),
 		OpenAnswers: c.meta.OpenAnswers,
+		Metrics:     reg,
 	}
 	var l *eventlog.Log
 	if openLog {
-		if l, err = eventlog.Open(logPath); err != nil {
+		if l, err = eventlog.Open(logPath, eventlog.WithMetrics(eventlog.NewMetrics(reg))); err != nil {
 			return fmt.Errorf("campaign %s: %w", c.meta.ID, err)
 		}
 		cfg.Log = l

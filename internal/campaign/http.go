@@ -30,7 +30,12 @@ import (
 //	POST /v1/campaigns/{id}/answer
 //	POST /v1/campaigns/{id}/objects | records   (open-world growth)
 //	GET  /v1/campaigns/{id}/truths | confidence | trust | stats
+//	GET  /v1/campaigns/{id}/metrics             (this campaign's registry)
 //	POST /v1/campaigns/{id}/refresh
+//
+// Plus GET /metrics at the top level: every booted campaign's registry
+// aggregated under a campaign label, with manager-level gauges
+// (metrics.go).
 //
 // Lifecycle is enforced here: draft campaigns serve nothing (409); paused
 // and closed campaigns reject task hand-out, answer/mutation ingestion and
@@ -52,6 +57,7 @@ var mutatingEndpoint = map[string]bool{
 // their wrong-method requests fall through to the catch-all.
 var endpointMethods = map[string]string{
 	"task":       http.MethodGet,
+	"metrics":    http.MethodGet,
 	"answer":     http.MethodPost,
 	"objects":    http.MethodPost,
 	"records":    http.MethodPost,
@@ -69,6 +75,7 @@ var endpointMethods = map[string]string{
 // Handler returns the /v1 API handler.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /v1/campaigns", m.handleList)
 	mux.HandleFunc("POST /v1/campaigns", m.handleCreate)
 	mux.HandleFunc("GET /v1/campaigns/{id}", m.handleGet)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/engine"
 	"repro/internal/eventlog"
+	"repro/internal/obs"
 )
 
 const (
@@ -69,6 +70,11 @@ type Manager struct {
 	dir  string
 	opts Options
 
+	// metrics is the manager's own registry (campaign counts by state);
+	// per-campaign instruments live on each campaign's registry and are
+	// scraped together by handleMetrics.
+	metrics *obs.Registry
+
 	mu        sync.RWMutex
 	campaigns map[string]*Campaign
 	creating  map[string]bool // ids reserved by in-flight Creates
@@ -88,6 +94,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
 	m := &Manager{dir: dir, opts: opts, campaigns: map[string]*Campaign{}, creating: map[string]bool{}}
+	m.metrics = newManagerMetrics(m)
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)

@@ -1,0 +1,81 @@
+package campaign
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestManagerMetrics is the aggregated-scrape e2e: two live campaigns'
+// registries (coordinator + event log instruments) merge under one
+// HELP/TYPE header per family with a campaign label per series, the
+// manager's lifecycle gauges ride along, drafts are excluded, and each
+// campaign still serves its own unlabeled registry through the proxy.
+func TestManagerMetrics(t *testing.T) {
+	m := mustOpen(t, t.TempDir())
+	defer m.Close()
+	h := m.Handler()
+
+	for _, id := range []string{"alpha", "beta"} {
+		rec := doReq(t, h, "POST", "/v1/campaigns",
+			createBody(t, Spec{ID: id, OpenAnswers: true}, StateLive, testDataset(id, 6)))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("create %s: %d: %s", id, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns",
+		createBody(t, Spec{ID: "gamma"}, StateDraft, testDataset("gamma", 4))); rec.Code != http.StatusCreated {
+		t.Fatalf("create gamma: %d", rec.Code)
+	}
+	if rec := doReq(t, h, "POST", "/v1/campaigns/alpha/answer",
+		`{"worker":"w1","object":"alpha-o00","value":"NY"}`); rec.Code != http.StatusOK {
+		t.Fatalf("answer: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := doReq(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`tdh_campaigns{state="live"} 2`,
+		`tdh_campaigns{state="draft"} 1`,
+		`tdh_answers_accepted_total{campaign="alpha"} 1`,
+		`tdh_answers_accepted_total{campaign="beta"} 0`,
+		`campaign="alpha",route="/answer"`,
+		`tdh_eventlog_fsync_seconds_bucket{campaign="alpha",le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregated /metrics missing %q", want)
+		}
+	}
+	// One header per family even with two campaigns exporting it; drafts
+	// have no registry and must not appear.
+	if n := strings.Count(out, "# TYPE tdh_http_request_duration_seconds histogram"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1", n)
+	}
+	if strings.Contains(out, `campaign="gamma"`) {
+		t.Error("draft campaign leaked into the aggregated scrape")
+	}
+
+	// The per-campaign endpoint serves the raw registry, unlabeled.
+	rec = doReq(t, h, "GET", "/v1/campaigns/alpha/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET campaign metrics = %d: %s", rec.Code, rec.Body.String())
+	}
+	own := rec.Body.String()
+	if !strings.Contains(own, "tdh_answers_accepted_total 1") {
+		t.Error("per-campaign /metrics missing the unlabeled counter")
+	}
+	if strings.Contains(own, `campaign="`) {
+		t.Error("per-campaign /metrics must not carry the campaign label")
+	}
+	// Wrong method gets the endpointMethods 405 treatment like any other
+	// data-plane endpoint.
+	if rec := doReq(t, h, "POST", "/v1/campaigns/alpha/metrics", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST metrics = %d, want 405", rec.Code)
+	}
+}

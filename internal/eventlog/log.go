@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/data"
 )
@@ -26,6 +27,8 @@ type Log struct {
 	done chan struct{} // closed when the flusher has drained and exited
 	torn bool          // flusher-owned: a failed write left unterminated bytes
 
+	metrics *Metrics // nil when the log is opened without WithMetrics
+
 	mu      sync.Mutex
 	closed  bool
 	pending []byte       // marshaled lines awaiting the next group commit
@@ -36,7 +39,7 @@ type Log struct {
 // Open opens (or creates) the log at path in append mode and starts the
 // flusher. An existing legacy answers.jsonl is a valid event log: new typed
 // events are appended after the bare answer lines and both replay together.
-func Open(path string) (*Log, error) {
+func Open(path string, opts ...Option) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: %w", err)
@@ -48,12 +51,17 @@ func Open(path string) (*Log, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(l)
+	}
 	go l.flushLoop()
 	return l, nil
 }
 
 // AppendEvent stages one event for the next group commit and blocks until
 // it is synced to stable storage (or the commit fails).
+//
+//tdh:wallclock append latency is an observability histogram; replay never reads it
 func (l *Log) AppendEvent(e Event) error {
 	if err := e.Validate(); err != nil {
 		return err
@@ -62,6 +70,7 @@ func (l *Log) AppendEvent(e Event) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	ack := make(chan error, 1)
 	l.mu.Lock()
 	if l.closed {
@@ -76,7 +85,9 @@ func (l *Log) AppendEvent(e Event) error {
 	case l.kick <- struct{}{}:
 	default: // a wakeup is already queued; the flusher will see this entry
 	}
-	return <-ack
+	err = <-ack
+	l.metrics.observeAppend(start)
+	return err
 }
 
 // Append durably stores one crowd answer (the server's AnswerSink).
@@ -112,6 +123,8 @@ func (l *Log) flushLoop() {
 // commit swaps out the staged batch and syncs it to disk, then wakes the
 // waiters with the outcome. File I/O runs outside the stage lock so
 // appenders keep staging the next batch during the fsync.
+//
+//tdh:wallclock commit latency is an observability histogram; replay never reads it
 func (l *Log) commit() {
 	l.mu.Lock()
 	buf, waiters := l.pending, l.waiters
@@ -120,6 +133,7 @@ func (l *Log) commit() {
 	if len(waiters) == 0 {
 		return
 	}
+	start := time.Now()
 	if l.torn {
 		// A previous batch's failed write left unterminated bytes in the
 		// file. Terminate them so they replay as one skipped malformed line
@@ -140,6 +154,7 @@ func (l *Log) commit() {
 		l.mu.Lock()
 		l.n += len(waiters)
 		l.mu.Unlock()
+		l.metrics.observeCommit(start, len(waiters), len(buf))
 	}
 	for _, ack := range waiters {
 		ack <- err

@@ -1,0 +1,57 @@
+package eventlog
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics are the log's durability instruments. A nil *Metrics disables
+// instrumentation (every observe method is nil-safe), so logs opened
+// without WithMetrics pay nothing.
+type Metrics struct {
+	appendDur *obs.Histogram // full append latency: stage -> synced ack
+	fsyncDur  *obs.Histogram // write+fsync latency per group commit
+	batchSize *obs.Histogram // appends acknowledged per group commit
+	bytes     *obs.Counter   // payload bytes written to the log file
+}
+
+// NewMetrics registers the eventlog instruments on reg. Registration is
+// idempotent, so a registry shared across components is fine.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		appendDur: reg.Histogram("tdh_eventlog_append_seconds",
+			"append latency from staging to durable acknowledgement", obs.LatencyBuckets()),
+		fsyncDur: reg.Histogram("tdh_eventlog_fsync_seconds",
+			"write+fsync latency per group commit", obs.LatencyBuckets()),
+		batchSize: reg.Histogram("tdh_eventlog_batch_size",
+			"appends acknowledged per group commit", obs.SizeBuckets()),
+		bytes: reg.Counter("tdh_eventlog_bytes_written_total",
+			"payload bytes written to the log file"),
+	}
+}
+
+// Option configures Open.
+type Option func(*Log)
+
+// WithMetrics attaches durability instruments to the log. nil is a no-op.
+func WithMetrics(m *Metrics) Option {
+	return func(l *Log) { l.metrics = m }
+}
+
+//tdh:wallclock append latency is an observability histogram; replay never reads it
+func (m *Metrics) observeAppend(start time.Time) {
+	if m != nil {
+		m.appendDur.Observe(time.Since(start).Seconds())
+	}
+}
+
+//tdh:wallclock fsync latency is an observability histogram; replay never reads it
+func (m *Metrics) observeCommit(start time.Time, batch, bytes int) {
+	if m == nil {
+		return
+	}
+	m.fsyncDur.Observe(time.Since(start).Seconds())
+	m.batchSize.Observe(float64(batch))
+	m.bytes.Add(int64(bytes))
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text exposition format (version 0.0.4): HELP and TYPE
+// lines once per family, one sample line per series, histograms expanded
+// into cumulative _bucket{le=...} series plus _sum and _count.
+
+// WriteText encodes gathered families in the Prometheus text format.
+func WriteText(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.Type))
+		bw.WriteByte('\n')
+		for _, m := range f.Metrics {
+			if f.Type == TypeHistogram {
+				writeHistogram(bw, f.Name, m)
+				continue
+			}
+			writeSample(bw, f.Name, m.Labels, "", "", m.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrometheus gathers the registry and encodes it: the body of a
+// single-registry GET /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteText(w, r.Gather())
+}
+
+// Handler returns an http.Handler serving the registry in the text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeHistogram(bw *bufio.Writer, name string, m Metric) {
+	for i, b := range m.Bounds {
+		writeSample(bw, name+"_bucket", m.Labels, "le", formatFloat(b), float64(m.Counts[i]))
+	}
+	writeSample(bw, name+"_bucket", m.Labels, "le", "+Inf", float64(m.Count))
+	writeSample(bw, name+"_sum", m.Labels, "", "", m.Sum)
+	writeSample(bw, name+"_count", m.Labels, "", "", float64(m.Count))
+}
+
+// writeSample writes one sample line, optionally appending one extra label
+// (the histogram's le) after the series labels.
+func writeSample(bw *bufio.Writer, name string, labels []string, extraK, extraV string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		first := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(labels[i])
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labels[i+1]))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraV))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// LabeledRegistry pairs a registry with the value an aggregating scrape
+// attaches under its shared label key (e.g. campaign id).
+type LabeledRegistry struct {
+	Value    string
+	Registry *Registry
+}
+
+// MergeLabeled gathers every registry, injects (key, Value) into each of
+// its series, and merges families by name — HELP/TYPE emitted once even
+// when many registries export the same family. The first registry's help
+// text wins; a type conflict across registries panics exactly like one
+// within a registry would.
+func MergeLabeled(key string, regs []LabeledRegistry) []Family {
+	byName := map[string]*Family{}
+	var names []string
+	for _, lr := range regs {
+		for _, f := range lr.Registry.Gather() {
+			mf, ok := byName[f.Name]
+			if !ok {
+				cp := Family{Name: f.Name, Help: f.Help, Type: f.Type}
+				byName[f.Name] = &cp
+				mf = byName[f.Name]
+				names = append(names, f.Name)
+			} else if mf.Type != f.Type {
+				panic("obs: metric " + f.Name + " registered as " + string(mf.Type) + " and " + string(f.Type))
+			}
+			for _, m := range f.Metrics {
+				m.Labels = injectLabel(m.Labels, key, lr.Value)
+				mf.Metrics = append(mf.Metrics, m)
+			}
+		}
+	}
+	sort.Strings(names)
+	out := make([]Family, 0, len(names))
+	for _, n := range names {
+		f := *byName[n]
+		sort.Slice(f.Metrics, func(i, j int) bool {
+			return labelsLess(f.Metrics[i].Labels, f.Metrics[j].Labels)
+		})
+		out = append(out, f)
+	}
+	return out
+}
+
+// injectLabel inserts (key, value) into sorted label pairs, keeping the
+// key order the encoder relies on.
+func injectLabel(labels []string, key, value string) []string {
+	out := make([]string, 0, len(labels)+2)
+	inserted := false
+	for i := 0; i+1 < len(labels); i += 2 {
+		if !inserted && key < labels[i] {
+			out = append(out, key, value)
+			inserted = true
+		}
+		out = append(out, labels[i], labels[i+1])
+	}
+	if !inserted {
+		out = append(out, key, value)
+	}
+	return out
+}

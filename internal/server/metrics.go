@@ -1,0 +1,152 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The server's /metrics instrumentation. Every Server carries an
+// obs.Registry (its own by default, or a shared one injected through
+// Config.Metrics so the campaign layer can scrape and label it): HTTP
+// middleware records per-route latency histograms, status-class counters
+// and an in-flight gauge; the ingest pipeline records stage durations,
+// epoch batch sizes and publish counts (pipeline.go observes into the
+// instruments below); queue depths and snapshot age are gauge callbacks
+// evaluated at scrape time. Metric names follow the Prometheus conventions:
+// seconds for durations, _total for counters, base units everywhere.
+
+// Stage labels for tdh_pipeline_stage_seconds.
+const (
+	stageDrain   = "drain"
+	stageFold    = "fold"
+	stagePublish = "publish"
+	stagePlan    = "plan_advance"
+	stageRefit   = "refit"
+)
+
+// serverMetrics holds the pre-resolved instruments so the hot paths never
+// touch the registry (registration takes a lock; Observe/Inc do not).
+type serverMetrics struct {
+	reg *obs.Registry
+
+	inFlight *obs.Gauge
+	httpDur  map[string]*obs.Histogram  // route -> latency histogram
+	httpResp map[string][5]*obs.Counter // route -> status-class counters (1xx..5xx)
+
+	answersAccepted   *obs.Counter
+	mutationsAccepted *obs.Counter
+	ingestRejected    *obs.Counter
+
+	stageDur  map[string]*obs.Histogram // pipeline stage -> duration histogram
+	batchSize *obs.Histogram            // answers folded per publish cycle
+	publishes map[bool]*obs.Counter     // key: full refit?
+}
+
+// httpRoutes are the instrumented data/read-plane routes, label values for
+// tdh_http_request_duration_seconds and tdh_http_responses_total.
+var httpRoutes = []string{
+	"/task", "/answer", "/objects", "/records",
+	"/truths", "/confidence", "/trust", "/stats", "/refresh",
+}
+
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// newServerMetrics registers every instrument on reg. Called once from New;
+// the GaugeFunc callbacks close over the server and read atomics only.
+func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge("tdh_http_in_flight_requests", "requests currently being served"),
+		httpDur:  make(map[string]*obs.Histogram, len(httpRoutes)),
+		httpResp: make(map[string][5]*obs.Counter, len(httpRoutes)),
+		answersAccepted: reg.Counter("tdh_answers_accepted_total",
+			"crowd answers accepted (acknowledged durable and queued for inference)"),
+		mutationsAccepted: reg.Counter("tdh_mutations_accepted_total",
+			"open-world dataset mutations accepted (object and record adds)"),
+		ingestRejected: reg.Counter("tdh_ingest_rejected_total",
+			"answers rejected with 429 because the target shard ingest queue exceeded policy.reject_queue_depth"),
+		stageDur:  make(map[string]*obs.Histogram, 5),
+		batchSize: reg.Histogram("tdh_pipeline_batch_size", "answers folded per publish cycle", obs.SizeBuckets()),
+		publishes: map[bool]*obs.Counter{
+			false: reg.Counter("tdh_publishes_total", "snapshots published", "kind", "incremental"),
+			true:  reg.Counter("tdh_publishes_total", "snapshots published", "kind", "refit"),
+		},
+	}
+	for _, route := range httpRoutes {
+		m.httpDur[route] = reg.Histogram("tdh_http_request_duration_seconds",
+			"HTTP request latency by route", obs.LatencyBuckets(), "route", route)
+		var cs [5]*obs.Counter
+		for i, class := range statusClasses {
+			cs[i] = reg.Counter("tdh_http_responses_total",
+				"HTTP responses by route and status class", "route", route, "class", class)
+		}
+		m.httpResp[route] = cs
+	}
+	for _, stage := range []string{stageDrain, stageFold, stagePublish, stagePlan, stageRefit} {
+		m.stageDur[stage] = reg.Histogram("tdh_pipeline_stage_seconds",
+			"inference pipeline stage durations", obs.LatencyBuckets(), "stage", stage)
+	}
+	reg.GaugeFunc("tdh_snapshot_age_seconds",
+		"age of the published snapshot every read is served from",
+		func() float64 {
+			if sn := s.snap(); sn != nil && !sn.PublishedAt.IsZero() {
+				return time.Since(sn.PublishedAt).Seconds() //tdh:wallclock scrape-time gauge; never feeds replayed state
+			}
+			return 0
+		})
+	for i := range s.shardDepth {
+		sd := &s.shardDepth[i]
+		reg.GaugeFunc("tdh_ingest_queue_depth",
+			"items waiting in each shard ingest queue (enqueue/drain accounting, stable under concurrent drains)",
+			func() float64 { return float64(sd.Load()) },
+			"shard", strconv.Itoa(i))
+	}
+	return m
+}
+
+// observeStage records one pipeline stage duration, given its start time.
+//
+//tdh:wallclock stage timing is observability only; replayed state never reads it
+func (m *serverMetrics) observeStage(stage string, start time.Time) {
+	m.stageDur[stage].Observe(time.Since(start).Seconds())
+}
+
+// statusWriter captures the response status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with the HTTP middleware: in-flight
+// gauge, per-route latency histogram, status-class counter.
+//
+//tdh:wallclock request latency measurement is observability only; never feeds replayed state
+func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.Handler {
+	dur, resp := m.httpDur[route], m.httpResp[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		dur.Observe(time.Since(start).Seconds())
+		class := sw.code/100 - 1
+		if class < 0 || class >= len(resp) {
+			class = 4 // out-of-range code: count as 5xx, the alarming class
+		}
+		resp[class].Inc()
+		m.inFlight.Add(-1)
+	})
+}
+
+// Metrics exposes the server's metrics registry (the campaign layer scrapes
+// it with a campaign label; embedders may register their own instruments on
+// it). Callers must not re-register server metric names with other types.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }

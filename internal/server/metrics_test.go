@@ -1,0 +1,183 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/synth"
+)
+
+// scrapeMetrics GETs /metrics and returns the text body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestMetricsEndpoint drives real traffic through the handler and asserts
+// the exposition covers every instrumented layer: HTTP latency histograms,
+// pipeline stage durations, ingest counters, queue-depth and snapshot-age
+// gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	tasks := fetchTasks(t, ts.URL, "alice")
+	if len(tasks) == 0 {
+		t.Fatal("no tasks")
+	}
+	resp := postJSON(t, ts.URL+"/answer", map[string]string{
+		"worker": "alice", "object": tasks[0].Object, "value": tasks[0].Candidates[0],
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /answer = %s", resp.Status)
+	}
+	// A synchronous refresh guarantees at least one drain/fold/publish and
+	// one refit cycle is on the books before the scrape.
+	if resp := postJSON(t, ts.URL+"/refresh", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /refresh = %s", resp.Status)
+	}
+
+	out := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE tdh_http_request_duration_seconds histogram",
+		`tdh_http_request_duration_seconds_bucket{route="/answer",le="+Inf"} 1`,
+		`tdh_http_responses_total{class="2xx",route="/task"} 1`,
+		"# TYPE tdh_pipeline_stage_seconds histogram",
+		`tdh_pipeline_stage_seconds_count{stage="publish"}`,
+		`tdh_pipeline_stage_seconds_count{stage="refit"}`,
+		`tdh_pipeline_stage_seconds_count{stage="drain"}`,
+		"tdh_answers_accepted_total 1",
+		`tdh_ingest_queue_depth{shard="0"}`,
+		"tdh_snapshot_age_seconds",
+		`tdh_publishes_total{kind="refit"}`,
+		"tdh_http_in_flight_requests 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// slowEngine embeds the categorical TDH engine but sleeps in ApplyAnswers,
+// holding items in the accepted-but-unfolded window. Because the embedded
+// interface does not promote optional capabilities, the pipeline's
+// EpochFolder assertion fails and every batch takes this slow path.
+type slowEngine struct {
+	engine.Engine
+	delay time.Duration
+}
+
+func (e slowEngine) ApplyAnswers(st engine.State, idx *data.Index, answers []data.Answer) (engine.State, bool) {
+	time.Sleep(e.delay)
+	return e.Engine.ApplyAnswers(st, idx, answers)
+}
+
+// TestAdmissionControl asserts the RejectQueueDepth satellite end to end: a
+// slow fold backs up the shard queue, POST /answer starts returning 429
+// with Retry-After, tdh_ingest_rejected_total counts it, and the depth
+// counters drain back to zero once the backlog is folded.
+func TestAdmissionControl(t *testing.T) {
+	ds := synth.Heritages(synth.HeritagesConfig{Seed: 5, Scale: 0.06})
+	eng, err := engine.New(engine.Categorical, "TDH", engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := engine.NewAssigner(engine.Categorical, "EAI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Dataset:     ds,
+		Engine:      slowEngine{Engine: eng, delay: 40 * time.Millisecond},
+		Assigner:    asg,
+		K:           3,
+		OpenAnswers: true,
+		Policy: RefitPolicy{
+			MaxAnswers:       -1, // no refits: keep every cycle on the slow path
+			MaxStaleness:     -1,
+			Shards:           -1, // single shard: every answer shares one bound
+			BatchSize:        2,
+			RejectQueueDepth: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	objects := ds.Objects()
+	if len(objects) < 40 {
+		t.Fatalf("dataset too small: %d objects", len(objects))
+	}
+	var got429 bool
+	for i := 0; i < 40 && !got429; i++ {
+		o := objects[i]
+		v := ds.Records[0].Value
+		for _, r := range ds.Records {
+			if r.Object == o {
+				v = r.Value
+				break
+			}
+		}
+		resp := postJSON(t, ts.URL+"/answer", map[string]string{
+			"worker": "w-adm", "object": o, "value": v,
+		})
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusUnprocessableEntity:
+		case http.StatusTooManyRequests:
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After header")
+			}
+		default:
+			t.Fatalf("POST /answer #%d = %s", i, resp.Status)
+		}
+	}
+	if !got429 {
+		t.Fatal("queue never saturated: no 429 observed")
+	}
+	out := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(out, "tdh_ingest_rejected_total") || strings.Contains(out, "tdh_ingest_rejected_total 0\n") {
+		t.Error("tdh_ingest_rejected_total did not count the rejection")
+	}
+
+	// The depth counters are enqueue/release accounting, so once the
+	// pipeline folds the backlog they must return exactly to zero — the
+	// stable-snapshot guarantee len(chan) could not give.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		depth := 0
+		for _, d := range s.Stats().ShardQueueDepth {
+			depth += d
+		}
+		if depth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard queue depth stuck at %d", depth)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

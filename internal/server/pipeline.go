@@ -54,6 +54,13 @@ type RefitPolicy struct {
 	// shard reproduces the unsharded pipeline exactly; the equivalence suite
 	// pins shards=N to it.
 	Shards int
+	// RejectQueueDepth, when > 0, is the admission-control bound: POST
+	// /answer returns 429 with a Retry-After header (and increments
+	// tdh_ingest_rejected_total) once the target object's shard holds at
+	// least this many accepted-but-unfolded items, instead of blocking the
+	// connection until the queue drains. 0 keeps the default blocking
+	// backpressure.
+	RejectQueueDepth int
 }
 
 const (
@@ -128,6 +135,9 @@ type pipeline struct {
 	staleSince time.Time
 }
 
+// metrics shortcuts the pipeline's instrument lookups.
+func (p *pipeline) metrics() *serverMetrics { return p.s.metrics }
+
 // publish makes the pipeline's current state visible to readers, with its
 // assignment plan already attached and prewarmed — built, advanced or
 // reused in this goroutine so no /task request ever pays for it in-line:
@@ -142,7 +152,10 @@ type pipeline struct {
 //     previous plan is Advance'd around the touched object IDs;
 //   - otherwise (an engine that re-estimates globally, e.g. numeric), the
 //     plan is rebuilt.
+//
+//tdh:wallclock stage timings and PublishedAt are observability metadata; replayed state never reads them
 func (p *pipeline) publish(touched []int, local bool) {
+	pubStart := time.Now()
 	prev := p.s.current.Load()
 	sn := &Snapshot{
 		Idx: p.idx, St: p.st, Res: p.st.Res(), Round: p.round,
@@ -151,6 +164,7 @@ func (p *pipeline) publish(touched []int, local bool) {
 		//tdh:wallclock snapshot age metadata; never fed back into replayed state
 		Answers: p.applied, Mutations: p.mutApplied, PublishedAt: time.Now(),
 	}
+	planStart := time.Now()
 	var plan *assign.Plan
 	switch {
 	case prev == nil || p.sinceRefit == 0:
@@ -171,17 +185,24 @@ func (p *pipeline) publish(touched []int, local bool) {
 		p.s.planBuilds.Add(1)
 	}
 	plan.Prewarm()
+	p.metrics().observeStage(stagePlan, planStart)
 	sn.setPlan(plan)
 	p.s.current.Store(sn)
+	p.metrics().publishes[p.sinceRefit == 0].Inc()
+	p.metrics().observeStage(stagePublish, pubStart)
 }
 
 // fullRefit rebuilds the index from the answer-extended dataset and reruns
 // the configured engine's full inference from scratch.
+//
+//tdh:wallclock refit duration is an observability histogram; replayed state never reads it
 func (p *pipeline) fullRefit() {
+	start := time.Now()
 	p.idx = data.NewIndex(p.work)
 	p.st = p.s.eng.Fit(p.idx)
 	p.round++
 	p.sinceRefit = 0
+	p.metrics().observeStage(stageRefit, start)
 	p.publish(nil, false)
 }
 
@@ -216,6 +237,8 @@ func (p *pipeline) markDirty(n int) {
 // incremental path keep publishing their previous state (stale confidences,
 // fresh counters); the additions' effect on the result waits for the next
 // policy-triggered refit.
+//
+//tdh:wallclock fold-stage timing is observability only; replayed state never reads it
 func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
 	total := 0
 	for _, g := range groups {
@@ -224,6 +247,7 @@ func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
 	if total == 0 && len(muts) == 0 {
 		return
 	}
+	foldStart := time.Now()
 	// local tracks whether every state change this cycle was object-local —
 	// the precondition for advancing the previous snapshot's plan.
 	local := true
@@ -256,7 +280,9 @@ func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
 				local = false // no epoch contract: assume a global update
 			}
 		}
+		p.metrics().batchSize.Observe(float64(total))
 	}
+	p.metrics().observeStage(stageFold, foldStart)
 	p.publish(touched, local)
 }
 
@@ -350,16 +376,23 @@ func (p *pipeline) shouldRefit(now time.Time) bool {
 // so the coordinator re-kicks itself instead of stalling a backlog.
 // Mutations are returned in shard order (per-object order — the one that
 // matters for dedup and candidate accumulation — is preserved, since an
-// object's mutations all live on one shard).
-func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutation, more bool) {
+// object's mutations all live on one shard). taken counts the items drained
+// per shard; callers release the shard depth counters by it only AFTER the
+// drained batch is folded and published (releaseDepth), so queue depth —
+// what /stats, /metrics and admission control read — covers the whole
+// accepted-but-unfolded backlog, not just the channel buffers.
+//
+//tdh:wallclock drain-stage timing is observability only; replayed state never reads it
+func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutation, taken []int, more bool) {
+	start := time.Now()
 	groups = make([][]data.Answer, len(p.s.shardChs))
+	taken = make([]int, len(p.s.shardChs))
 	for i, ch := range p.s.shardChs {
-		taken := 0
 	drain:
-		for limit <= 0 || taken < limit {
+		for limit <= 0 || taken[i] < limit {
 			select {
 			case it := <-ch:
-				taken++
+				taken[i]++
 				if it.mut != nil {
 					muts = append(muts, it.mut)
 				} else {
@@ -373,7 +406,18 @@ func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutat
 			more = true
 		}
 	}
-	return groups, muts, more
+	p.metrics().observeStage(stageDrain, start)
+	return groups, muts, taken, more
+}
+
+// releaseDepth retires drained items from the shard depth counters once
+// their batch has been folded into a published snapshot.
+func (p *pipeline) releaseDepth(taken []int) {
+	for i, n := range taken {
+		if n > 0 {
+			p.s.shardDepth[i].Add(-int64(n))
+		}
+	}
 }
 
 // loop is the coordinator goroutine. It exits when Server.Close signals
@@ -388,11 +432,12 @@ func (p *pipeline) loop() {
 	for {
 		select {
 		case <-p.s.kickCh:
-			groups, muts, more := p.drainShards(p.policy.BatchSize)
+			groups, muts, taken, more := p.drainShards(p.policy.BatchSize)
 			p.applyShards(groups, muts)
 			if p.shouldRefit(time.Now()) {
 				p.fullRefit()
 			}
+			p.releaseDepth(taken)
 			if more {
 				p.s.kick() // backlog beyond the batch cap: schedule another cycle
 			}
@@ -401,7 +446,7 @@ func (p *pipeline) loop() {
 			// everything the drained answers would have contributed.
 			// Mutations still extend the working dataset first so the refit
 			// covers them.
-			groups, muts, _ := p.drainShards(0)
+			groups, muts, taken, _ := p.drainShards(0)
 			if len(muts) > 0 {
 				p.stageMutations(muts) // the refit below absorbs them
 			}
@@ -409,6 +454,7 @@ func (p *pipeline) loop() {
 				p.ingest(g)
 			}
 			p.fullRefit()
+			p.releaseDepth(taken)
 			req.done <- p.s.snap()
 		case <-tick.C:
 			if p.shouldRefit(time.Now()) {
@@ -418,8 +464,9 @@ func (p *pipeline) loop() {
 			// Flush: every item accepted before Close was enqueued (Close
 			// waits out in-flight accepts first), so one unbounded drain
 			// folds the backlog into a final snapshot.
-			groups, muts, _ := p.drainShards(0)
+			groups, muts, taken, _ := p.drainShards(0)
 			p.applyShards(groups, muts)
+			p.releaseDepth(taken)
 			return
 		}
 	}

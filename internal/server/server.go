@@ -46,6 +46,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/engine"
 	"repro/internal/infer"
+	"repro/internal/obs"
 )
 
 // AnswerSink receives accepted answers for durable storage.
@@ -91,6 +92,11 @@ type Config struct {
 	// answers are rejected either way. Default: answers must match a
 	// pending assignment handed out by /task.
 	OpenAnswers bool
+	// Metrics, when non-nil, is the registry the server registers its
+	// instruments on (so an embedder — the campaign manager, the event log
+	// — shares one registry per campaign). Nil gets a private registry.
+	// Either way GET /metrics serves it in the Prometheus text format.
+	Metrics *obs.Registry
 }
 
 // Server is the crowdsourcing coordinator. Reads are lock-free against a
@@ -126,15 +132,20 @@ type Server struct {
 	// object's shard queue (stable FNV hash, so an object's stream stays
 	// FIFO and a growing index never re-homes it) and kickCh nudges the
 	// coordinator, which drains all shards into one epoch-stitched publish.
-	shardChs  []chan ingestItem
-	kickCh    chan struct{}
-	refreshCh chan refreshReq
-	quitCh    chan struct{}
-	doneCh    chan struct{}
-	closed    atomic.Bool
-	closeMu   sync.Mutex
-	ingestWG  sync.WaitGroup
-	closeOnce sync.Once
+	// shardDepth counts items waiting per shard by enqueue/drain accounting
+	// — unlike len(chan) reads racing the coordinator's drain, the counters
+	// give /stats and /metrics a stable queue-depth snapshot, and they are
+	// what admission control (RefitPolicy.RejectQueueDepth) reads.
+	shardChs   []chan ingestItem
+	shardDepth []atomic.Int64
+	kickCh     chan struct{}
+	refreshCh  chan refreshReq
+	quitCh     chan struct{}
+	doneCh     chan struct{}
+	closed     atomic.Bool
+	closeMu    sync.Mutex
+	ingestWG   sync.WaitGroup
+	closeOnce  sync.Once
 
 	// Plan-maintenance observability (/stats): publishes that advanced the
 	// previous snapshot's plan vs built one from scratch, and /task requests
@@ -142,6 +153,9 @@ type Server struct {
 	planBuilds    atomic.Int64
 	planAdvances  atomic.Int64
 	planFallbacks atomic.Int64
+
+	// metrics holds the pre-resolved /metrics instruments (metrics.go).
+	metrics *serverMetrics
 }
 
 // shardOf maps an object name to its ingest shard.
@@ -155,9 +169,12 @@ func (s *Server) shardOf(object string) int {
 // there is the ingest backpressure) and nudges the coordinator. The order —
 // enqueue, then kick — makes the wakeup race-free: a dropped kick means a
 // token is already pending, so the coordinator will drain again after this
-// item is visible.
+// item is visible. The depth counter is incremented before the (possibly
+// blocking) send so admission control sees demand, not just buffered items.
 func (s *Server) enqueue(object string, it ingestItem) {
-	s.shardChs[s.shardOf(object)] <- it
+	sh := s.shardOf(object)
+	s.shardDepth[sh].Add(1)
+	s.shardChs[sh] <- it
 	s.kick()
 }
 
@@ -229,6 +246,12 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.shardChs {
 		s.shardChs[i] = make(chan ingestItem, perShard)
 	}
+	s.shardDepth = make([]atomic.Int64, cfg.Policy.Shards)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newServerMetrics(s, reg)
 	// Seed the answered-sets from answers already in the dataset (e.g.
 	// recovered from an answer log), so replayed answers cannot be
 	// resubmitted and double-counted.
@@ -272,18 +295,25 @@ func (s *Server) Refresh() (*Snapshot, error) {
 	}
 }
 
-// Handler returns the HTTP handler for the service.
+// Handler returns the HTTP handler for the service. Every route runs
+// behind the metrics middleware (per-route latency histogram, status-class
+// counters, in-flight gauge); GET /metrics serves the registry in the
+// Prometheus text format and is deliberately not self-instrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /task", s.handleTask)
-	mux.HandleFunc("POST /answer", s.handleAnswer)
-	mux.HandleFunc("POST /objects", s.handleAddObject)
-	mux.HandleFunc("POST /records", s.handleAddRecord)
-	mux.HandleFunc("GET /truths", s.handleTruths)
-	mux.HandleFunc("GET /confidence", s.handleConfidence)
-	mux.HandleFunc("GET /trust", s.handleTrust)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /refresh", s.handleRefresh)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.instrument(route, h))
+	}
+	handle("GET /task", "/task", s.handleTask)
+	handle("POST /answer", "/answer", s.handleAnswer)
+	handle("POST /objects", "/objects", s.handleAddObject)
+	handle("POST /records", "/records", s.handleAddRecord)
+	handle("GET /truths", "/truths", s.handleTruths)
+	handle("GET /confidence", "/confidence", s.handleConfidence)
+	handle("GET /trust", "/trust", s.handleTrust)
+	handle("GET /stats", "/stats", s.handleStats)
+	handle("POST /refresh", "/refresh", s.handleRefresh)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -408,6 +438,19 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown object %q", a.Object))
 		return
 	}
+	// Admission control: with RejectQueueDepth set, a saturated shard queue
+	// sheds load with a fast 429 instead of blocking the connection on the
+	// enqueue below. Checked before any reservation or log I/O so a
+	// rejected request does no work and rolls back nothing.
+	if bound := s.cfg.Policy.RejectQueueDepth; bound > 0 {
+		if s.shardDepth[s.shardOf(a.Object)].Load() >= int64(bound) {
+			s.metrics.ingestRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("ingest queue for object %q is saturated; retry later", a.Object))
+			return
+		}
+	}
 	// The engine owns payload validation: candidate membership for
 	// categorical and multi-truth answers, numeric parsing for numeric ones
 	// — plus in-place canonicalization of the typed payload.
@@ -453,6 +496,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	s.acceptedList = append(s.acceptedList, a)
 	n := len(s.acceptedList)
 	s.acceptedMu.Unlock()
+	s.metrics.answersAccepted.Inc()
 
 	// Enqueue for the inference pipeline; a full shard queue applies
 	// backpressure. The pipeline keeps draining until Close has waited out
@@ -527,6 +571,7 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	s.objectCount++
 	n := s.objectCount
 	s.mutMu.Unlock()
+	s.metrics.mutationsAccepted.Inc()
 	s.enqueue(req.Object, ingestItem{mut: &mutation{object: req.Object, candidates: cands}})
 	writeJSON(w, map[string]any{"accepted": true, "object": req.Object, "added_objects": n})
 }
@@ -593,6 +638,7 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	s.recordCount++
 	n := s.recordCount
 	s.mutMu.Unlock()
+	s.metrics.mutationsAccepted.Inc()
 	s.enqueue(rec.Object, ingestItem{mut: &mutation{object: rec.Object, record: &rec}})
 	writeJSON(w, map[string]any{"accepted": true, "object": rec.Object, "added_records": n})
 }
@@ -743,8 +789,13 @@ func (s *Server) stats() Stats {
 		PlanAdvances:     s.planAdvances.Load(),
 		PlanFallbacks:    s.planFallbacks.Load(),
 	}
-	for i, ch := range s.shardChs {
-		st.ShardQueueDepth[i] = len(ch)
+	// Queue depths come from the enqueue/drain counters, not len(chan): the
+	// coordinator drains concurrently, so channel-length reads taken one by
+	// one mix before/after-drain views. The counters are each read once and
+	// count every accepted-but-unfolded item, including those a drain has
+	// taken off the channel but not yet published.
+	for i := range s.shardDepth {
+		st.ShardQueueDepth[i] = int(s.shardDepth[i].Load())
 	}
 	if !snap.PublishedAt.IsZero() {
 		st.SnapshotAgeMS = time.Since(snap.PublishedAt).Milliseconds() //tdh:wallclock diagnostics gauge in /stats
