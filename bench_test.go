@@ -575,6 +575,67 @@ func BenchmarkShardedIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkTracedIngest is the lineage-tentpole overhead pin: the same
+// incremental-path ingest workload as BenchmarkShardedIngest, interleaved
+// A/B between tracing disabled and the default probabilistic sampling
+// (1-in-64 requests carry a full span tree; watermarks and sequence numbers
+// are maintained in both). The acceptance bound is ≤2% answers/sec
+// regression for the "default" variant — the unsampled hot path pays one
+// traceparent parse, one nil recorder check and a per-shard seq increment.
+func BenchmarkTracedIngest(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		sample int // Config.TraceSampleEvery: <0 never, 0 default 1-in-64
+	}{{"off", -1}, {"default", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ds := synth.Heritages(synth.HeritagesConfig{Seed: 7, Scale: 0.1})
+			srv, err := server.New(server.Config{
+				Dataset:     ds,
+				Inferencer:  infer.NewTDH(),
+				Assigner:    assign.EAI{},
+				OpenAnswers: true, // benchmark workers answer arbitrary objects
+				Policy: server.RefitPolicy{
+					MaxAnswers: -1, MaxStaleness: -1,
+				},
+				TraceSampleEvery: mode.sample,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			h := srv.Handler()
+			snap := srv.Snapshot()
+			objs := srv.SortedObjects()
+			vals := make([]string, len(objs))
+			for i, o := range objs {
+				vals[i] = snap.Idx.View(o).CI.Values[0]
+			}
+			var seq atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.SetParallelism(16)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					oi := i % len(objs)
+					body := fmt.Sprintf(`{"worker":"bw-%d","object":%q,"value":%q}`, i, objs[oi], vals[oi])
+					req := httptest.NewRequest("POST", "/answer", strings.NewReader(body))
+					req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Fatalf("answer %d: status %d: %s", i, rec.Code, rec.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "answers/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkPlanAdvance compares the two ways a publish can obtain its
 // assignment plan after an incremental fold touching a small object set:
 // building from scratch (NewPlan + Prewarm — O(Σ|Vo| + |O| log |O|) plus

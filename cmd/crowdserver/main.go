@@ -27,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,8 +65,14 @@ func main() {
 		open      = flag.Bool("open", false, "accept answers for objects not assigned to the worker (single-campaign mode)")
 		pprofOn   = flag.Bool("pprof", true, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		drainWait = flag.Duration("drain", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+		logLevel  = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error, off")
+		logFormat = flag.String("log-format", "text", "structured log output format: text or json")
 	)
 	flag.Parse()
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	if (*in == "") == (*dataDir == "") {
 		fmt.Fprintln(os.Stderr, "crowdserver: exactly one of -in (single campaign) or -data-dir (multi-campaign) is required")
 		flag.Usage()
@@ -74,7 +82,7 @@ func main() {
 	var handler http.Handler
 	var closer io.Closer
 	if *dataDir != "" {
-		mgr, err := campaign.Open(*dataDir, campaign.Options{Workers: *workers})
+		mgr, err := campaign.Open(*dataDir, campaign.Options{Workers: *workers, Logger: logger})
 		if err != nil {
 			fatal(err)
 		}
@@ -95,7 +103,7 @@ func main() {
 			QueueSize:        *queue,
 			Shards:           *shards,
 			RejectQueueDepth: *rejectQ,
-		}, *open)
+		}, *open, logger)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,7 +163,7 @@ func withPprof(app http.Handler) http.Handler {
 // compatibility path: the same flags and root-level endpoints as before
 // multi-campaign hosting). The returned closer drains the server into a
 // final snapshot, then closes the event log.
-func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool) (*server.Server, io.Closer, error) {
+func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed int64, workers int, policy server.RefitPolicy, open bool, logger *slog.Logger) (*server.Server, io.Closer, error) {
 	ds, err := data.LoadFile(in)
 	if err != nil {
 		return nil, nil, err
@@ -192,6 +200,7 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 		Policy:      policy,
 		OpenAnswers: open,
 		Metrics:     reg,
+		Logger:      logger,
 	}
 	var l *eventlog.Log
 	if logPath != "" {
@@ -205,7 +214,8 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 			fmt.Printf("recovered %d answers, %d objects, %d records from %s (%d malformed lines skipped, %d duplicates dropped)\n",
 				res.Answers, res.Objects, res.Records, logPath, res.Skipped, res.Duplicates)
 		}
-		if l, err = eventlog.Open(logPath, eventlog.WithMetrics(eventlog.NewMetrics(reg))); err != nil {
+		if l, err = eventlog.Open(logPath,
+			eventlog.WithMetrics(eventlog.NewMetrics(reg)), eventlog.WithLogger(logger)); err != nil {
 			return nil, nil, err
 		}
 		cfg.Log = l
@@ -228,6 +238,35 @@ func singleCampaign(in, model, alg, asgName string, k int, logPath string, seed 
 		}
 		return err
 	}), nil
+}
+
+// newLogger builds the process logger from the -log-level / -log-format
+// flags. "off" discards everything (the pre-slog behaviour); the remaining
+// levels map straight onto slog's.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return slog.New(slog.DiscardHandler), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/data"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/synth"
 )
 
@@ -52,6 +54,8 @@ func main() {
 		out       = flag.String("out", "", "write the capacity curve JSON here (empty = stdout)")
 		seed      = flag.Int64("seed", 7, "deterministic fleet seed")
 		smoke     = flag.Bool("smoke", false, "CI smoke mode: short ramp, then exit nonzero unless throughput > 0 and no 5xx was seen")
+		traceN    = flag.Int("trace-sample", 0, "set the traceparent sampled flag on 1-in-N requests (0 = default 64, 1 = every request, <0 = never)")
+		serverLog = flag.String("server-log", "", "in-process mode only: write the manager's JSON structured log to this file")
 	)
 	flag.Parse()
 	if *smoke {
@@ -67,11 +71,13 @@ func main() {
 	base := *addr
 	var cleanup func()
 	if base == "" {
-		base, cleanup, err = inProcessManager()
+		base, cleanup, err = inProcessManager(*serverLog)
 		if err != nil {
 			fatal(err)
 		}
 		defer cleanup()
+	} else if *serverLog != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -server-log only applies to in-process mode; a remote crowdserver writes its own log")
 	}
 	base = strings.TrimRight(base, "/")
 
@@ -87,6 +93,10 @@ func main() {
 		client: client,
 		seed:   *seed,
 		k:      *k,
+		// Client-side trace context: every request carries a traceparent
+		// minted here, the sampled flag set probabilistically, so server-side
+		// span trees correlate back to this fleet's requests.
+		tracer: trace.New(1, *traceN),
 	}
 	if err := run.createCampaigns(*nCampaign, *scale, *rejectQ); err != nil {
 		fatal(err)
@@ -106,8 +116,8 @@ func main() {
 	for _, n := range counts {
 		st := run.step(n, *stepDur, *inject)
 		curve.Steps = append(curve.Steps, st)
-		fmt.Fprintf(os.Stderr, "loadgen: %4d workers: %8.1f answers/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  429s %d  5xx %d  snap-age %.3fs\n",
-			n, st.AnswersPerSec, st.AnswerP50Ms, st.AnswerP95Ms, st.AnswerP99Ms, st.Rejected, st.Server5xx, st.SnapshotAgeSec)
+		fmt.Fprintf(os.Stderr, "loadgen: %4d workers: %8.1f answers/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  429s %d  5xx %d  snap-age %.3fs  vis-p95 %6.1fms (%d samples)\n",
+			n, st.AnswersPerSec, st.AnswerP50Ms, st.AnswerP95Ms, st.AnswerP99Ms, st.Rejected, st.Server5xx, st.SnapshotAgeSec, st.VisP95Ms, st.VisSamples)
 	}
 
 	buf, err := json.MarshalIndent(curve, "", "  ")
@@ -150,14 +160,29 @@ func parseSteps(s string) ([]int, error) {
 }
 
 // inProcessManager boots a campaign manager in a temp dir behind an
-// httptest server: the self-contained mode CI's smoke step uses.
-func inProcessManager() (base string, cleanup func(), err error) {
+// httptest server: the self-contained mode CI's smoke step uses. With
+// logPath, the manager's structured log is written there as JSON lines so
+// the smoke job can assert on (and archive) it.
+func inProcessManager(logPath string) (base string, cleanup func(), err error) {
 	dir, err := os.MkdirTemp("", "loadgen-*")
 	if err != nil {
 		return "", nil, err
 	}
-	mgr, err := campaign.Open(dir, campaign.Options{})
+	var opts campaign.Options
+	var logFile *os.File
+	if logPath != "" {
+		logFile, err = os.Create(logPath)
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		opts.Logger = slog.New(slog.NewJSONHandler(logFile, nil))
+	}
+	mgr, err := campaign.Open(dir, opts)
 	if err != nil {
+		if logFile != nil {
+			logFile.Close()
+		}
 		os.RemoveAll(dir)
 		return "", nil, err
 	}
@@ -165,6 +190,9 @@ func inProcessManager() (base string, cleanup func(), err error) {
 	return ts.URL, func() {
 		ts.Close()
 		mgr.Close()
+		if logFile != nil {
+			logFile.Close()
+		}
 		os.RemoveAll(dir)
 	}, nil
 }
@@ -175,10 +203,17 @@ type run struct {
 	client *http.Client
 	seed   int64
 	k      int
+	tracer *trace.Tracer // client-side traceparent minting
 
 	campaigns []string // campaign ids
 	values    []string // hierarchy-valid value pool for injected objects
 	injected  atomic.Int64
+}
+
+// traced stamps an outgoing request with a fresh client-minted traceparent.
+func (r *run) traced(req *http.Request) *http.Request {
+	req.Header.Set("traceparent", r.tracer.Extract("", time.Now()).Header())
+	return req
 }
 
 // createCampaigns materializes n live synthetic campaigns over the API.
@@ -258,6 +293,14 @@ type stepResult struct {
 	AnswerP95Ms    float64 `json:"answer_p95_ms"`
 	AnswerP99Ms    float64 `json:"answer_p99_ms"`
 	SnapshotAgeSec float64 `json:"snapshot_age_seconds"`
+	// Client-observed ingest-to-visibility: sampled accepted answers timed
+	// from request send until the campaign's published watermark covered
+	// their (shard, seq). Granularity is the poll interval (~20ms).
+	VisSamples    int64   `json:"visibility_samples"`
+	VisUnresolved int64   `json:"visibility_unresolved"`
+	VisP50Ms      float64 `json:"visibility_p50_ms"`
+	VisP95Ms      float64 `json:"visibility_p95_ms"`
+	VisP99Ms      float64 `json:"visibility_p99_ms"`
 }
 
 type curveConfig struct {
@@ -279,14 +322,18 @@ type capacityCurve struct {
 // stepCounters is the fleet's shared accounting for one load step. The
 // latency histograms are the repo's own obs instruments, reused client-side.
 type stepCounters struct {
-	taskDur   *obs.Histogram
-	answerDur *obs.Histogram
-	answers   atomic.Int64
-	tasks     atomic.Int64
-	rejected  atomic.Int64
-	conflicts atomic.Int64
-	fiveXX    atomic.Int64
-	transport atomic.Int64
+	taskDur     *obs.Histogram
+	answerDur   *obs.Histogram
+	visDur      *obs.Histogram
+	vis         *visTracker
+	visCtr      atomic.Uint64
+	visObserved atomic.Int64
+	answers     atomic.Int64
+	tasks       atomic.Int64
+	rejected    atomic.Int64
+	conflicts   atomic.Int64
+	fiveXX      atomic.Int64
+	transport   atomic.Int64
 }
 
 // step runs one load level: workers closed-loop goroutines for d, plus the
@@ -296,6 +343,8 @@ func (r *run) step(workers int, d, inject time.Duration) stepResult {
 	c := &stepCounters{
 		taskDur:   reg.Histogram("task_seconds", "", obs.LatencyBuckets()),
 		answerDur: reg.Histogram("answer_seconds", "", obs.LatencyBuckets()),
+		visDur:    reg.Histogram("visibility_seconds", "", obs.LatencyBuckets()),
+		vis:       &visTracker{pending: map[string][]visEntry{}},
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
@@ -307,6 +356,14 @@ func (r *run) step(workers int, d, inject time.Duration) stepResult {
 			r.worker(ctx, w, c)
 		}(w)
 	}
+	// The poller gets its own wait group: it drains for a grace period after
+	// the step deadline, which must not count toward the step's elapsed time.
+	var wgVis sync.WaitGroup
+	wgVis.Add(1)
+	go func() {
+		defer wgVis.Done()
+		r.visPoller(ctx, d, c)
+	}()
 	if inject > 0 {
 		wg.Add(1)
 		go func() {
@@ -317,6 +374,7 @@ func (r *run) step(workers int, d, inject time.Duration) stepResult {
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	wgVis.Wait()
 
 	snapAge := r.scrapeSnapshotAge()
 	ms := func(q float64, h *obs.Histogram) float64 { return h.Quantile(q) * 1000 }
@@ -338,6 +396,11 @@ func (r *run) step(workers int, d, inject time.Duration) stepResult {
 		AnswerP95Ms:    ms(0.95, c.answerDur),
 		AnswerP99Ms:    ms(0.99, c.answerDur),
 		SnapshotAgeSec: snapAge,
+		VisSamples:     c.visObserved.Load(),
+		VisUnresolved:  c.vis.unresolved(),
+		VisP50Ms:       ms(0.50, c.visDur),
+		VisP95Ms:       ms(0.95, c.visDur),
+		VisP99Ms:       ms(0.99, c.visDur),
 	}
 }
 
@@ -380,7 +443,7 @@ func (r *run) getTasks(ctx context.Context, camp, worker string, c *stepCounters
 		return nil, false
 	}
 	start := time.Now()
-	resp, err := r.client.Do(req)
+	resp, err := r.client.Do(r.traced(req))
 	c.taskDur.Observe(time.Since(start).Seconds())
 	c.tasks.Add(1)
 	if err != nil {
@@ -405,6 +468,13 @@ func (r *run) getTasks(ctx context.Context, camp, worker string, c *stepCounters
 	return body.Tasks, true
 }
 
+// visSampleEvery is the fraction of accepted answers whose (shard, seq)
+// coordinates are followed until the published watermark covers them: 1-in-8
+// keeps the response-parsing and /stats-polling cost off the critical
+// percentiles while still giving the visibility histogram thousands of
+// samples per step.
+const visSampleEvery = 8
+
 func (r *run) postAnswer(ctx context.Context, camp, worker, object, value string, c *stepCounters) {
 	body, _ := json.Marshal(map[string]string{"object": object, "worker": worker, "value": value})
 	url := fmt.Sprintf("%s/v1/campaigns/%s/answer", r.base, camp)
@@ -414,13 +484,26 @@ func (r *run) postAnswer(ctx context.Context, camp, worker, object, value string
 	}
 	req.Header.Set("Content-Type", "application/json")
 	start := time.Now()
-	resp, err := r.client.Do(req)
+	resp, err := r.client.Do(r.traced(req))
 	c.answerDur.Observe(time.Since(start).Seconds())
 	if err != nil {
 		if ctx.Err() == nil {
 			c.transport.Add(1)
 		}
 		return
+	}
+	if resp.StatusCode == http.StatusOK && c.visCtr.Add(1)%visSampleEvery == 0 {
+		// Sampled answer: remember where it landed so the poller can measure
+		// when the published watermark makes it visible. The clock starts at
+		// request send, so the measurement covers the full client-observed
+		// accept-to-visible path.
+		var accepted struct {
+			Shard *int  `json:"shard"`
+			Seq   int64 `json:"seq"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&accepted) == nil && accepted.Shard != nil {
+			c.vis.add(camp, visEntry{shard: *accepted.Shard, seq: accepted.Seq, at: start})
+		}
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -434,6 +517,143 @@ func (r *run) postAnswer(ctx context.Context, camp, worker, object, value string
 	case resp.StatusCode >= 500:
 		c.fiveXX.Add(1)
 	}
+}
+
+// visEntry is one sampled accepted answer awaiting visibility: the shard and
+// per-shard sequence number the server acknowledged, and when the client
+// sent it.
+type visEntry struct {
+	shard int
+	seq   int64
+	at    time.Time
+}
+
+// visTracker holds the sampled accepted-but-not-yet-visible answers per
+// campaign. Bounded: adds beyond the cap are dropped (counted as unresolved)
+// so a stalled server can't grow client memory without limit.
+type visTracker struct {
+	mu      sync.Mutex
+	pending map[string][]visEntry
+	dropped int64
+}
+
+const visPendingCap = 4096
+
+func (v *visTracker) add(camp string, e visEntry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.pending[camp]) >= visPendingCap {
+		v.dropped++
+		return
+	}
+	v.pending[camp] = append(v.pending[camp], e)
+}
+
+func (v *visTracker) has(camp string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.pending[camp]) > 0
+}
+
+func (v *visTracker) empty() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, p := range v.pending {
+		if len(p) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve removes and returns every pending entry the watermark vector
+// covers: entry (shard, seq) is visible once wm[shard] >= seq.
+func (v *visTracker) resolve(camp string, wm []int64) []visEntry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var done []visEntry
+	keep := v.pending[camp][:0]
+	for _, e := range v.pending[camp] {
+		if e.shard < len(wm) && wm[e.shard] >= e.seq {
+			done = append(done, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	v.pending[camp] = keep
+	return done
+}
+
+// unresolved counts entries that never became visible (plus capacity drops).
+func (v *visTracker) unresolved() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.dropped
+	for _, p := range v.pending {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// visPoller turns the sampled (shard, seq) entries into client-observed
+// ingest-to-visibility latencies by polling each driven campaign's /stats
+// watermark vector. It keeps draining for a grace period after the step
+// ends so in-flight answers' visibility still lands in the histogram.
+func (r *run) visPoller(stepCtx context.Context, d time.Duration, c *stepCounters) {
+	ctx, cancel := context.WithTimeout(context.Background(), d+3*time.Second)
+	defer cancel()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if stepCtx.Err() != nil && c.vis.empty() {
+			return
+		}
+		for _, camp := range r.campaigns {
+			if !c.vis.has(camp) {
+				continue
+			}
+			wm := r.fetchWatermarks(ctx, camp)
+			if wm == nil {
+				continue
+			}
+			now := time.Now()
+			for _, e := range c.vis.resolve(camp, wm) {
+				c.visDur.Observe(now.Sub(e.at).Seconds())
+				c.visObserved.Add(1)
+			}
+		}
+	}
+}
+
+// fetchWatermarks reads one campaign's per-shard visibility watermarks from
+// its /stats endpoint (nil when unavailable).
+func (r *run) fetchWatermarks(ctx context.Context, camp string) []int64 {
+	url := fmt.Sprintf("%s/v1/campaigns/%s/stats", r.base, camp)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var st struct {
+		Watermarks []int64 `json:"watermark"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil
+	}
+	return st.Watermarks
 }
 
 // injector grows campaigns while the fleet answers: every interval it POSTs

@@ -42,6 +42,7 @@ func TestMethodNotAllowedEverywhere(t *testing.T) {
 		{"POST", "/v1/campaigns/m405/confidence", "GET"},
 		{"POST", "/v1/campaigns/m405/trust", "GET"},
 		{"POST", "/v1/campaigns/m405/stats", "GET"},
+		{"POST", "/v1/campaigns/m405/trace", "GET"},
 		{"GET", "/v1/campaigns/m405/refresh", "POST"},
 	}
 	for _, tc := range cases {

@@ -226,6 +226,9 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 	// /metrics) and each campaign serves its own at
 	// /v1/campaigns/{id}/metrics.
 	reg := obs.NewRegistry()
+	// Every log line from this campaign's coordinator and event log carries
+	// the campaign id, so one process hosting many campaigns stays greppable.
+	clog := opts.logger().With("campaign", c.meta.ID)
 	cfg := server.Config{
 		Dataset:     ds,
 		Engine:      eng,
@@ -235,10 +238,12 @@ func (c *Campaign) boot(opts Options, openLog bool) error {
 		Policy:      c.meta.Policy.refitPolicy(),
 		OpenAnswers: c.meta.OpenAnswers,
 		Metrics:     reg,
+		Logger:      clog,
 	}
 	var l *eventlog.Log
 	if openLog {
-		if l, err = eventlog.Open(logPath, eventlog.WithMetrics(eventlog.NewMetrics(reg))); err != nil {
+		if l, err = eventlog.Open(logPath,
+			eventlog.WithMetrics(eventlog.NewMetrics(reg)), eventlog.WithLogger(clog)); err != nil {
 			return fmt.Errorf("campaign %s: %w", c.meta.ID, err)
 		}
 		cfg.Log = l

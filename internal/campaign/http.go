@@ -31,6 +31,7 @@ import (
 //	POST /v1/campaigns/{id}/objects | records   (open-world growth)
 //	GET  /v1/campaigns/{id}/truths | confidence | trust | stats
 //	GET  /v1/campaigns/{id}/metrics             (this campaign's registry)
+//	GET  /v1/campaigns/{id}/trace               (recent traces as span trees)
 //	POST /v1/campaigns/{id}/refresh
 //
 // Plus GET /metrics at the top level: every booted campaign's registry
@@ -58,6 +59,7 @@ var mutatingEndpoint = map[string]bool{
 var endpointMethods = map[string]string{
 	"task":       http.MethodGet,
 	"metrics":    http.MethodGet,
+	"trace":      http.MethodGet,
 	"answer":     http.MethodPost,
 	"objects":    http.MethodPost,
 	"records":    http.MethodPost,

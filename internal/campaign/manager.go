@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -43,6 +44,20 @@ type Options struct {
 	// (-1 = all cores, 0/1 = sequential). Campaigns share the machine, so
 	// sequential is a reasonable default under many concurrent campaigns.
 	Workers int
+	// Logger receives the manager's structured diagnostics — campaign
+	// lifecycle transitions, boot replay summaries — and, with a campaign
+	// attribute attached, each campaign server's (admission rejections,
+	// pipeline stalls, slow publishes) and event log's (commit failures,
+	// slow fsyncs). Nil discards everything.
+	Logger *slog.Logger
+}
+
+// logger returns the configured logger, never nil.
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // Spec is the per-campaign configuration fixed at creation time.
@@ -69,6 +84,7 @@ type Spec struct {
 type Manager struct {
 	dir  string
 	opts Options
+	log  *slog.Logger // Options.Logger, normalized to never nil
 
 	// metrics is the manager's own registry (campaign counts by state);
 	// per-campaign instruments live on each campaign's registry and are
@@ -93,7 +109,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	m := &Manager{dir: dir, opts: opts, campaigns: map[string]*Campaign{}, creating: map[string]bool{}}
+	m := &Manager{dir: dir, opts: opts, log: opts.logger(), campaigns: map[string]*Campaign{}, creating: map[string]bool{}}
 	m.metrics = newManagerMetrics(m)
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -111,6 +127,7 @@ func Open(dir string, opts Options) (*Manager, error) {
 			// write is the creation commit point): nothing in it was ever
 			// acknowledged, so skip it rather than fail every healthy
 			// campaign's boot. A later Create may reclaim the id.
+			m.log.Warn("skipping torn campaign directory (no campaign.json)", "campaign", id)
 			continue
 		}
 		if err != nil {
@@ -134,7 +151,16 @@ func Open(dir string, opts Options) (*Manager, error) {
 			_ = c.srv.Close()
 		}
 		m.campaigns[id] = c
+		if meta.State != StateDraft {
+			rec := c.recovered
+			m.log.Info("campaign recovered",
+				"campaign", id, "state", string(meta.State),
+				"replayed_answers", rec.Answers, "replayed_objects", rec.Objects,
+				"replayed_records", rec.Records, "skipped_lines", rec.Skipped,
+				"duplicates", rec.Duplicates)
+		}
 	}
+	m.log.Info("campaign manager open", "dir", dir, "campaigns", len(m.campaigns))
 	return m, nil
 }
 
@@ -264,6 +290,10 @@ func (m *Manager) Create(spec Spec, ds *data.Dataset) (*Campaign, error) {
 	}
 	m.campaigns[spec.ID] = c
 	m.mu.Unlock()
+	m.log.Info("campaign created",
+		"campaign", spec.ID, "state", string(StateDraft),
+		"truth_model", spec.TruthModel, "inferencer", spec.Inferencer,
+		"assigner", spec.Assigner)
 	return c, nil
 }
 
@@ -289,6 +319,8 @@ func (m *Manager) Start(id string) error {
 			c.meta = prev
 			return err
 		}
+		m.log.Info("campaign lifecycle transition",
+			"campaign", id, "from", string(StateDraft), "to", string(StateLive))
 		return nil
 	})
 }
@@ -317,6 +349,8 @@ func (m *Manager) flipState(id string, from, to State, verb string) error {
 			c.meta = prev
 			return err
 		}
+		m.log.Info("campaign lifecycle transition",
+			"campaign", id, "from", string(from), "to", string(to))
 		return nil
 	})
 }
@@ -344,6 +378,8 @@ func (m *Manager) CloseCampaign(id string) error {
 			}
 			c.log = nil
 		}
+		m.log.Info("campaign lifecycle transition",
+			"campaign", id, "from", string(prev.State), "to", string(StateClosed))
 		return err
 	})
 }
@@ -378,6 +414,7 @@ func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	delete(m.campaigns, id)
 	m.mu.Unlock()
+	m.log.Info("campaign deleted", "campaign", id)
 	return nil
 }
 

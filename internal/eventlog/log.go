@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -27,7 +28,8 @@ type Log struct {
 	done chan struct{} // closed when the flusher has drained and exited
 	torn bool          // flusher-owned: a failed write left unterminated bytes
 
-	metrics *Metrics // nil when the log is opened without WithMetrics
+	metrics *Metrics     // nil when the log is opened without WithMetrics
+	log     *slog.Logger // never nil; discards unless WithLogger is given
 
 	mu      sync.Mutex
 	closed  bool
@@ -50,6 +52,7 @@ func Open(path string, opts ...Option) (*Log, error) {
 		kick: make(chan struct{}, 1),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
+		log:  slog.New(slog.DiscardHandler),
 	}
 	for _, opt := range opts {
 		opt(l)
@@ -155,11 +158,24 @@ func (l *Log) commit() {
 		l.n += len(waiters)
 		l.mu.Unlock()
 		l.metrics.observeCommit(start, len(waiters), len(buf))
+		if d := time.Since(start); d >= slowCommitAfter {
+			l.log.Warn("slow event log commit",
+				"path", l.path, "duration_ms", d.Milliseconds(),
+				"batch", len(waiters), "bytes", len(buf))
+		}
+	} else {
+		l.log.Error("event log commit failed",
+			"path", l.path, "batch", len(waiters), "err", err)
 	}
 	for _, ack := range waiters {
 		ack <- err
 	}
 }
+
+// slowCommitAfter is the group-commit duration that triggers the slow-fsync
+// warning: a healthy fsync is single-digit milliseconds, so a quarter
+// second means the disk (or its queue) is in trouble.
+const slowCommitAfter = 250 * time.Millisecond
 
 // Count returns the number of events committed through this handle.
 func (l *Log) Count() int {

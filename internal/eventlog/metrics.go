@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"log/slog"
 	"time"
 
 	"repro/internal/obs"
@@ -37,6 +38,18 @@ type Option func(*Log)
 // WithMetrics attaches durability instruments to the log. nil is a no-op.
 func WithMetrics(m *Metrics) Option {
 	return func(l *Log) { l.metrics = m }
+}
+
+// WithLogger attaches a structured logger for durability diagnostics: a
+// failed group commit logs at error level (every waiter in the batch got
+// the error) and an unusually slow fsync at warn. nil keeps the default
+// discard logger.
+func WithLogger(log *slog.Logger) Option {
+	return func(l *Log) {
+		if log != nil {
+			l.log = log
+		}
+	}
 }
 
 //tdh:wallclock append latency is an observability histogram; replay never reads it

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tr := New(8, 1)
+	c := Ctx{TraceID: tr.NewTraceID(), SpanID: tr.NewSpanID(), Sampled: true}
+	h := c.Header()
+	tid, parent, sampled, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("round-trip parse failed for %q", h)
+	}
+	if tid != c.TraceID || parent != c.SpanID || !sampled {
+		t.Fatalf("round-trip mismatch: got %v %v %v want %v %v true", tid, parent, sampled, c.TraceID, c.SpanID)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []string{
+		"",
+		"garbage",
+		valid[:54],                          // too short
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-ZZf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", // bad flag hex
+		valid + "-extra", // version 00 forbids trailing fields
+		"0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version hex
+	}
+	for _, h := range cases {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// A future version with trailing fields is accepted on the 00-shaped prefix.
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extrafield"
+	if _, _, _, ok := ParseTraceparent(future); !ok {
+		t.Errorf("ParseTraceparent(%q) rejected valid future-version input", future)
+	}
+}
+
+func TestExtractFreshOnMalformed(t *testing.T) {
+	tr := New(8, 1) // always sample
+	now := time.Now()
+	c := tr.Extract("not-a-traceparent", now)
+	if c.TraceID.IsZero() || c.SpanID.IsZero() || !c.Parent.IsZero() {
+		t.Fatalf("Extract on malformed header should mint a fresh root: %+v", c)
+	}
+	if !c.Sampled {
+		t.Fatalf("sampleEvery=1 should sample every request")
+	}
+	c2 := tr.Extract("", now)
+	if c2.TraceID == c.TraceID {
+		t.Fatalf("two fresh extracts shared a trace id")
+	}
+}
+
+func TestExtractHonorsIncoming(t *testing.T) {
+	tr := New(8, -1) // never sample locally
+	h := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	c := tr.Extract(h, time.Now())
+	if c.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("incoming trace id not honored: %v", c.TraceID)
+	}
+	if c.Parent.String() != "00f067aa0ba902b7" {
+		t.Fatalf("incoming parent not honored: %v", c.Parent)
+	}
+	if !c.Sampled {
+		t.Fatalf("incoming sampled flag must force capture")
+	}
+	// Unsampled incoming + local sampling off → not sampled.
+	h0 := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+	if c := tr.Extract(h0, time.Now()); c.Sampled {
+		t.Fatalf("unsampled incoming header must not be captured when local sampling is off")
+	}
+	if a := tr.Start(tr.Extract(h0, time.Now()), "x"); a != nil {
+		t.Fatalf("Start on unsampled ctx must return the nil recorder")
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	tr := New(8, 4)
+	sampled := 0
+	for i := 0; i < 64; i++ {
+		if tr.Extract("", time.Now()).Sampled {
+			sampled++
+		}
+	}
+	if sampled != 16 {
+		t.Fatalf("counter sampling at 1/4 over 64 extracts: got %d want 16", sampled)
+	}
+}
+
+func TestActiveRecordsAndPublishes(t *testing.T) {
+	tr := New(8, 1)
+	start := time.Now()
+	c := tr.Extract("", start)
+	a := tr.Start(c, "ingest")
+	a.Annotate(Attr{Key: "campaign", Value: "c1"})
+	a.Child("drain", start.Add(time.Millisecond), start.Add(2*time.Millisecond), Attr{Key: "shard", Value: "0"})
+	a.Child("fold", start.Add(2*time.Millisecond), start.Add(3*time.Millisecond))
+	a.Finish(start.Add(4 * time.Millisecond))
+
+	recent := tr.Recent(0)
+	if len(recent) != 1 {
+		t.Fatalf("Recent: got %d traces want 1", len(recent))
+	}
+	got := recent[0]
+	if got.ID != c.TraceID {
+		t.Fatalf("trace id mismatch")
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("span count: got %d want 3", len(got.Spans))
+	}
+	root := got.Spans[0]
+	if root.Name != "ingest" || root.ID != c.SpanID || !root.End.Equal(start.Add(4*time.Millisecond)) {
+		t.Fatalf("bad root span: %+v", root)
+	}
+	for _, s := range got.Spans[1:] {
+		if s.Parent != root.ID {
+			t.Fatalf("child span %q not parented to root", s.Name)
+		}
+	}
+	if got.Spans[1].Attrs[0].Value != "0" {
+		t.Fatalf("child attrs lost")
+	}
+}
+
+func TestNilActiveIsNoop(t *testing.T) {
+	var a *Active
+	a.Child("x", time.Now(), time.Now())
+	a.Annotate(Attr{Key: "k", Value: "v"})
+	a.Finish(time.Now())
+	if !a.TraceID().IsZero() {
+		t.Fatalf("nil recorder must report the zero trace id")
+	}
+}
+
+func TestSpanAndAttrBounds(t *testing.T) {
+	tr := New(8, 1)
+	c := tr.Extract("", time.Now())
+	a := tr.Start(c, "root")
+	for i := 0; i < maxSpans*2; i++ {
+		a.Child("s", time.Now(), time.Now())
+	}
+	attrs := make([]Attr, maxAttrs+3)
+	a.Annotate(attrs...)
+	a.Finish(time.Now())
+	got := tr.Recent(1)[0]
+	if len(got.Spans) != maxSpans {
+		t.Fatalf("span bound not enforced: %d", len(got.Spans))
+	}
+	if len(got.Spans[0].Attrs) != maxAttrs {
+		t.Fatalf("attr bound not enforced: %d", len(got.Spans[0].Attrs))
+	}
+}
+
+func TestRecentNewestFirstAndRingWrap(t *testing.T) {
+	tr := New(4, 1)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		c := tr.Extract("", base)
+		a := tr.Start(c, "t")
+		a.Finish(base.Add(time.Duration(i) * time.Second))
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring of 4 after 10 publishes: got %d", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].End().After(recent[i-1].End()) {
+			t.Fatalf("Recent not newest-first at %d", i)
+		}
+	}
+	if !recent[0].End().Equal(base.Add(9 * time.Second)) {
+		t.Fatalf("newest trace missing after wrap")
+	}
+}
+
+// TestRingConcurrentWriters pins the lossy-but-safe contract: 16 concurrent
+// writers hammering a small ring may lose traces, but never corrupt one
+// (every trace read back is whole: root span first, consistent ids) and
+// never block. Run under -race.
+func TestRingConcurrentWriters(t *testing.T) {
+	tr := New(32, 1)
+	const writers = 16
+	const perWriter = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent reader exercising publish/load races.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, got := range tr.Recent(0) {
+					if len(got.Spans) == 0 || got.Spans[0].Name != "root" {
+						panic("torn trace observed")
+					}
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c := tr.Extract("", start)
+				a := tr.Start(c, "root")
+				a.Child("stage", start, start.Add(time.Millisecond))
+				a.Finish(start.Add(2 * time.Millisecond))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	recent := tr.Recent(0)
+	if len(recent) == 0 || len(recent) > 32 {
+		t.Fatalf("ring should hold 1..32 traces, got %d", len(recent))
+	}
+	for _, got := range recent {
+		if got.Spans[0].Name != "root" || len(got.Spans) != 2 {
+			t.Fatalf("corrupt trace after concurrent writes: %+v", got)
+		}
+		if got.Spans[1].Parent != got.Spans[0].ID {
+			t.Fatalf("child not parented to root after concurrent writes")
+		}
+	}
+}
+
+func BenchmarkExtractUnsampled(b *testing.B) {
+	tr := New(256, 1<<20)
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := tr.Extract("", now)
+		a := tr.Start(c, "ingest")
+		a.Child("drain", now, now)
+		a.Finish(now)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // The server's /metrics instrumentation. Every Server carries an
@@ -31,6 +32,9 @@ const (
 // touch the registry (registration takes a lock; Observe/Inc do not).
 type serverMetrics struct {
 	reg *obs.Registry
+	// tracer is the server's span recorder; the middleware extracts and
+	// injects W3C traceparent at the same boundary it measures latency.
+	tracer *trace.Tracer
 
 	inFlight *obs.Gauge
 	httpDur  map[string]*obs.Histogram  // route -> latency histogram
@@ -40,9 +44,10 @@ type serverMetrics struct {
 	mutationsAccepted *obs.Counter
 	ingestRejected    *obs.Counter
 
-	stageDur  map[string]*obs.Histogram // pipeline stage -> duration histogram
-	batchSize *obs.Histogram            // answers folded per publish cycle
-	publishes map[bool]*obs.Counter     // key: full refit?
+	stageDur   map[string]*obs.Histogram // pipeline stage -> duration histogram
+	batchSize  *obs.Histogram            // answers folded per publish cycle
+	publishes  map[bool]*obs.Counter     // key: full refit?
+	visibility *obs.Histogram            // ingest accept -> covering publish
 }
 
 // httpRoutes are the instrumented data/read-plane routes, label values for
@@ -59,6 +64,7 @@ var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
 func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 	m := &serverMetrics{
 		reg:      reg,
+		tracer:   s.tracer,
 		inFlight: reg.Gauge("tdh_http_in_flight_requests", "requests currently being served"),
 		httpDur:  make(map[string]*obs.Histogram, len(httpRoutes)),
 		httpResp: make(map[string][5]*obs.Counter, len(httpRoutes)),
@@ -70,6 +76,9 @@ func newServerMetrics(s *Server, reg *obs.Registry) *serverMetrics {
 			"answers rejected with 429 because the target shard ingest queue exceeded policy.reject_queue_depth"),
 		stageDur:  make(map[string]*obs.Histogram, 5),
 		batchSize: reg.Histogram("tdh_pipeline_batch_size", "answers folded per publish cycle", obs.SizeBuckets()),
+		visibility: reg.Histogram("tdh_visibility_seconds",
+			"ingest-to-visible latency: accept of an answer or mutation to the publish of the snapshot whose watermark covers it",
+			obs.LatencyBuckets()),
 		publishes: map[bool]*obs.Counter{
 			false: reg.Counter("tdh_publishes_total", "snapshots published", "kind", "incremental"),
 			true:  reg.Counter("tdh_publishes_total", "snapshots published", "kind", "refit"),
@@ -126,7 +135,11 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps one route's handler with the HTTP middleware: in-flight
-// gauge, per-route latency histogram, status-class counter.
+// gauge, per-route latency histogram, status-class counter — and the W3C
+// trace boundary: the incoming traceparent (if any; malformed ones are
+// ignored, never an error) becomes the request's trace context, and the
+// response carries the server-side traceparent so callers can correlate
+// their request with the span tree /debug/trace returns.
 //
 //tdh:wallclock request latency measurement is observability only; never feeds replayed state
 func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.Handler {
@@ -134,6 +147,9 @@ func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.Handle
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.inFlight.Add(1)
 		start := time.Now()
+		tc := m.tracer.Extract(r.Header.Get("traceparent"), start)
+		w.Header().Set("Traceparent", tc.Header())
+		r = r.WithContext(trace.NewContext(r.Context(), tc))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		dur.Observe(time.Since(start).Seconds())

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -148,8 +149,14 @@ func TestAdmissionControl(t *testing.T) {
 		case http.StatusOK, http.StatusUnprocessableEntity:
 		case http.StatusTooManyRequests:
 			got429 = true
-			if resp.Header.Get("Retry-After") == "" {
+			// Retry-After is derived from the observed drain rate, but it must
+			// always be a positive integer number of seconds (RFC 9110
+			// delay-seconds), bounded so clients neither hammer nor stall.
+			ra := resp.Header.Get("Retry-After")
+			if ra == "" {
 				t.Error("429 without Retry-After header")
+			} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+				t.Errorf("Retry-After = %q, want integer in [1, 30]", ra)
 			}
 		default:
 			t.Fatalf("POST /answer #%d = %s", i, resp.Status)

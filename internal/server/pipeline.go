@@ -2,12 +2,14 @@ package server
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/assign"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/obs/trace"
 )
 
 // The inference pipeline decouples answer ingestion from inference. Ingest
@@ -104,9 +106,18 @@ type refreshReq struct {
 
 // ingestItem is one accepted unit of campaign growth queued for the
 // pipeline: a crowd answer, or a dataset mutation (object / record add).
+// Lineage rides along: seq is the item's per-shard ingest sequence number
+// (assigned under the shard's enqueue lock, so sequence order is exactly
+// channel FIFO order), at is the accept timestamp the visibility histogram
+// measures from, and tr is the sampled-request span recorder (nil for the
+// unsampled majority) whose ownership transfers to the coordinator with the
+// channel send.
 type ingestItem struct {
 	answer data.Answer // valid when mut is nil
 	mut    *mutation
+	seq    int64
+	at     time.Time
+	tr     *trace.Active
 }
 
 // mutation is an accepted open-world dataset mutation. Exactly one of
@@ -133,6 +144,39 @@ type pipeline struct {
 	mutApplied int // dataset mutations folded into the published snapshot
 	sinceRefit int // answers + mutations since the last full refit
 	staleSince time.Time
+
+	// Lineage accounting, all coordinator-owned. drainedSeq is the highest
+	// ingest sequence drained per shard; the next publish copies it onto the
+	// snapshot as the visibility watermark. cycle holds the items drained
+	// this cycle until the publish that makes them visible completes them
+	// (visibility histogram + span trees); stamps carries the cycle's stage
+	// timestamps for those spans. lastVisible is the last publish that
+	// completed drained items — the progress signal the stall watchdog
+	// checks against queue depth.
+	drainedSeq  []int64
+	cycle       []itemMeta
+	stamps      cycleStamps
+	lastVisible time.Time
+}
+
+// itemMeta is the coordinator-side record of one drained item awaiting its
+// covering publish.
+type itemMeta struct {
+	shard int
+	seq   int64
+	at    time.Time
+	tr    *trace.Active
+}
+
+// cycleStamps are the stage boundary timestamps of one coordinator cycle,
+// recorded as the cycle runs and replayed into every sampled item's span
+// tree when the publish completes.
+type cycleStamps struct {
+	drainStart, drainEnd time.Time
+	foldStart, foldEnd   time.Time
+	refit                bool // the fold stage was a full refit
+	planStart, planEnd   time.Time
+	pubStart, pubEnd     time.Time
 }
 
 // metrics shortcuts the pipeline's instrument lookups.
@@ -163,8 +207,14 @@ func (p *pipeline) publish(touched []int, local bool) {
 		// replay rebuilds state from the log, never timestamps.
 		//tdh:wallclock snapshot age metadata; never fed back into replayed state
 		Answers: p.applied, Mutations: p.mutApplied, PublishedAt: time.Now(),
+		// The visibility watermark: everything drained so far is in the
+		// state this snapshot publishes (every loop path folds what it
+		// drains before the next drain). Copied, never aliased — the
+		// snapshot is immutable, drainedSeq keeps advancing.
+		Watermarks: append([]int64(nil), p.drainedSeq...),
 	}
 	planStart := time.Now()
+	p.stamps.planStart = planStart
 	var plan *assign.Plan
 	switch {
 	case prev == nil || p.sinceRefit == 0:
@@ -186,10 +236,106 @@ func (p *pipeline) publish(touched []int, local bool) {
 	}
 	plan.Prewarm()
 	p.metrics().observeStage(stagePlan, planStart)
+	p.stamps.planEnd = time.Now()
 	sn.setPlan(plan)
 	p.s.current.Store(sn)
 	p.metrics().publishes[p.sinceRefit == 0].Inc()
 	p.metrics().observeStage(stagePublish, pubStart)
+	p.stamps.pubStart, p.stamps.pubEnd = pubStart, time.Now()
+	for i := range p.drainedSeq {
+		p.s.shardFolded[i].Store(p.drainedSeq[i])
+	}
+	if d := p.stamps.pubEnd.Sub(pubStart); d >= slowPublishAfter && p.s.logEvery(&p.s.lastSlowLog, logRepeatEvery) {
+		p.s.log.Warn("slow publish",
+			"duration_ms", d.Milliseconds(), "round", p.round,
+			"answers", p.applied, "objects", sn.Idx.NumObjects())
+	}
+	p.completeCycle(sn.PublishedAt)
+}
+
+const (
+	// slowPublishAfter is the publish-duration threshold for the slow-publish
+	// warning (a publish this slow means plan maintenance or Res() copying is
+	// falling behind ingest).
+	slowPublishAfter = 500 * time.Millisecond
+	// stallAfter is how long queued items may sit without the watermark
+	// advancing before the stall warning fires.
+	stallAfter = 2 * time.Second
+	// logRepeatEvery rate-limits the recurring diagnostic warnings
+	// (admission rejections, stalls, slow publishes) to one line per period.
+	logRepeatEvery = 5 * time.Second
+)
+
+// completeCycle finishes the items made visible by the publish at pub: every
+// drained item gets a visibility observation (accept → covering publish),
+// and each sampled item's span recorder gets the cycle's stage spans before
+// being finished into the trace ring. It also feeds the drain-rate estimate
+// behind Retry-After. Called from publish, so a cycle that folds and then
+// immediately refits completes its items at the first publish — the one
+// that made them visible — and the second finds the cycle empty.
+func (p *pipeline) completeCycle(pub time.Time) {
+	if len(p.cycle) == 0 {
+		return
+	}
+	st := &p.stamps
+	m := p.metrics()
+	for _, it := range p.cycle {
+		m.visibility.Observe(pub.Sub(it.at).Seconds())
+		if it.tr == nil {
+			continue
+		}
+		it.tr.Child("queue", it.at, st.drainStart,
+			trace.Attr{Key: "shard", Value: strconv.Itoa(it.shard)},
+			trace.Attr{Key: "seq", Value: strconv.FormatInt(it.seq, 10)})
+		it.tr.Child("drain", st.drainStart, st.drainEnd)
+		if st.refit {
+			it.tr.Child("refit", st.foldStart, st.foldEnd)
+		} else {
+			it.tr.Child("fold", st.foldStart, st.foldEnd)
+		}
+		it.tr.Child("plan_advance", st.planStart, st.planEnd)
+		it.tr.Child("publish", st.pubStart, st.pubEnd)
+		it.tr.Finish(st.pubEnd)
+	}
+	// EWMA (α=1/4) of per-item cycle cost, the drain-rate estimate 429
+	// responses derive Retry-After from.
+	if dur := st.pubEnd.Sub(st.drainStart); dur > 0 {
+		per := dur.Nanoseconds() / int64(len(p.cycle))
+		if old := p.s.drainNsPerItem.Load(); old > 0 {
+			per = old + (per-old)/4
+		}
+		if per < 1 {
+			per = 1
+		}
+		p.s.drainNsPerItem.Store(per)
+	}
+	p.lastVisible = pub
+	p.cycle = p.cycle[:0]
+}
+
+// checkStall fires the pipeline-stall warning when items are queued but no
+// publish has made progress for stallAfter — the watermark equivalent of a
+// wedged coordinator (an engine fold blocking, a refit monopolizing the
+// loop).
+//
+//tdh:wallclock stall detection compares wall-clock progress timestamps; diagnostics only
+func (p *pipeline) checkStall(now time.Time) {
+	var depth int64
+	for i := range p.s.shardDepth {
+		depth += p.s.shardDepth[i].Load()
+	}
+	if depth == 0 {
+		return
+	}
+	ref := p.lastVisible
+	if ref.IsZero() {
+		ref = p.s.startTime
+	}
+	if now.Sub(ref) < stallAfter || !p.s.logEvery(&p.s.lastStallLog, logRepeatEvery) {
+		return
+	}
+	p.s.log.Warn("pipeline stalled: queued items but visibility watermark not advancing",
+		"depth", depth, "stalled_seconds", now.Sub(ref).Seconds(), "round", p.round)
 }
 
 // fullRefit rebuilds the index from the answer-extended dataset and reruns
@@ -203,6 +349,9 @@ func (p *pipeline) fullRefit() {
 	p.round++
 	p.sinceRefit = 0
 	p.metrics().observeStage(stageRefit, start)
+	// When this refit is what makes drained items visible (the refresh
+	// path), their span trees show the refit as the fold stage.
+	p.stamps.foldStart, p.stamps.foldEnd, p.stamps.refit = start, time.Now(), true
 	p.publish(nil, false)
 }
 
@@ -248,6 +397,7 @@ func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
 		return
 	}
 	foldStart := time.Now()
+	p.stamps.foldStart, p.stamps.refit = foldStart, false
 	// local tracks whether every state change this cycle was object-local —
 	// the precondition for advancing the previous snapshot's plan.
 	local := true
@@ -283,6 +433,7 @@ func (p *pipeline) applyShards(groups [][]data.Answer, muts []*mutation) {
 		p.metrics().batchSize.Observe(float64(total))
 	}
 	p.metrics().observeStage(stageFold, foldStart)
+	p.stamps.foldEnd = time.Now()
 	p.publish(touched, local)
 }
 
@@ -385,6 +536,7 @@ func (p *pipeline) shouldRefit(now time.Time) bool {
 //tdh:wallclock drain-stage timing is observability only; replayed state never reads it
 func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutation, taken []int, more bool) {
 	start := time.Now()
+	p.stamps.drainStart = start
 	groups = make([][]data.Answer, len(p.s.shardChs))
 	taken = make([]int, len(p.s.shardChs))
 	for i, ch := range p.s.shardChs {
@@ -398,6 +550,14 @@ func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutat
 				} else {
 					groups[i] = append(groups[i], it.answer)
 				}
+				// Sequence numbers are FIFO within a shard (assigned under
+				// the enqueue lock), so the last drained seq is the max.
+				if it.seq > p.drainedSeq[i] {
+					p.drainedSeq[i] = it.seq
+				}
+				if !it.at.IsZero() {
+					p.cycle = append(p.cycle, itemMeta{shard: i, seq: it.seq, at: it.at, tr: it.tr})
+				}
 			default:
 				break drain
 			}
@@ -407,6 +567,7 @@ func (p *pipeline) drainShards(limit int) (groups [][]data.Answer, muts []*mutat
 		}
 	}
 	p.metrics().observeStage(stageDrain, start)
+	p.stamps.drainEnd = time.Now()
 	return groups, muts, taken, more
 }
 
@@ -460,6 +621,7 @@ func (p *pipeline) loop() {
 			if p.shouldRefit(time.Now()) {
 				p.fullRefit()
 			}
+			p.checkStall(time.Now())
 		case <-p.s.quitCh:
 			// Flush: every item accepted before Close was enqueued (Close
 			// waits out in-flight accepts first), so one unbounded drain

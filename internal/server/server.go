@@ -36,8 +36,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/infer"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // AnswerSink receives accepted answers for durable storage.
@@ -97,6 +100,19 @@ type Config struct {
 	// — shares one registry per campaign). Nil gets a private registry.
 	// Either way GET /metrics serves it in the Prometheus text format.
 	Metrics *obs.Registry
+	// Logger receives the server's structured diagnostics (admission
+	// rejections, pipeline stalls, slow publishes) — typically the campaign
+	// manager's logger with a campaign attribute attached. Nil discards.
+	Logger *slog.Logger
+	// TraceSampleEvery sets the full-span capture rate: one in this many
+	// accepted requests records a span tree into the trace ring (0 = the
+	// default 1/64; 1 = every request; <0 = never). Requests arriving with
+	// a sampled W3C traceparent are always captured. Watermarks and the
+	// visibility histogram are always on regardless.
+	TraceSampleEvery int
+	// TraceCapacity is the completed-trace ring size GET /debug/trace reads
+	// (0 = the default 256).
+	TraceCapacity int
 }
 
 // Server is the crowdsourcing coordinator. Reads are lock-free against a
@@ -136,16 +152,25 @@ type Server struct {
 	// — unlike len(chan) reads racing the coordinator's drain, the counters
 	// give /stats and /metrics a stable queue-depth snapshot, and they are
 	// what admission control (RefitPolicy.RejectQueueDepth) reads.
-	shardChs   []chan ingestItem
-	shardDepth []atomic.Int64
-	kickCh     chan struct{}
-	refreshCh  chan refreshReq
-	quitCh     chan struct{}
-	doneCh     chan struct{}
-	closed     atomic.Bool
-	closeMu    sync.Mutex
-	ingestWG   sync.WaitGroup
-	closeOnce  sync.Once
+	// Lineage: every enqueued item gets a per-shard monotonic sequence
+	// number, assigned under seqMu held across the (possibly blocking)
+	// channel send so sequence order is exactly FIFO order within a shard.
+	// shardFolded mirrors the pipeline's folded watermark per shard as
+	// atomics for /stats; the published Snapshot.Watermarks is the
+	// consistent-with-the-snapshot view.
+	shardChs    []chan ingestItem
+	shardDepth  []atomic.Int64
+	seqMu       []sync.Mutex
+	shardSeq    []int64 // guarded by seqMu[i]
+	shardFolded []atomic.Int64
+	kickCh      chan struct{}
+	refreshCh   chan refreshReq
+	quitCh      chan struct{}
+	doneCh      chan struct{}
+	closed      atomic.Bool
+	closeMu     sync.Mutex
+	ingestWG    sync.WaitGroup
+	closeOnce   sync.Once
 
 	// Plan-maintenance observability (/stats): publishes that advanced the
 	// previous snapshot's plan vs built one from scratch, and /task requests
@@ -156,6 +181,19 @@ type Server struct {
 
 	// metrics holds the pre-resolved /metrics instruments (metrics.go).
 	metrics *serverMetrics
+
+	// Observability plumbing: the span recorder behind /debug/trace, the
+	// structured logger (never nil; discards by default), the process start
+	// for /stats uptime, the EWMA nanoseconds-per-item drain-rate estimate
+	// Retry-After derives from, and the per-site rate limiters for the
+	// recurring diagnostic warnings.
+	tracer         *trace.Tracer
+	log            *slog.Logger
+	startTime      time.Time
+	drainNsPerItem atomic.Int64
+	lastRejectLog  atomic.Int64
+	lastStallLog   atomic.Int64
+	lastSlowLog    atomic.Int64
 }
 
 // shardOf maps an object name to its ingest shard.
@@ -171,11 +209,63 @@ func (s *Server) shardOf(object string) int {
 // token is already pending, so the coordinator will drain again after this
 // item is visible. The depth counter is incremented before the (possibly
 // blocking) send so admission control sees demand, not just buffered items.
-func (s *Server) enqueue(object string, it ingestItem) {
+//
+// Each item is stamped with the shard's next ingest sequence number under
+// seqMu, held across the channel send: sequence order is therefore exactly
+// the shard's FIFO order, which is what makes the published watermark
+// (Snapshot.Watermarks, max folded seq) a complete visibility statement —
+// every item at or below it has been folded. A full queue blocks the send
+// inside the lock, so same-shard enqueuers queue on the mutex instead of
+// the channel; the backpressure is identical. Returns the shard and the
+// assigned sequence, which /answer echoes so clients can poll visibility.
+func (s *Server) enqueue(object string, it ingestItem) (shard int, seq int64) {
 	sh := s.shardOf(object)
 	s.shardDepth[sh].Add(1)
+	s.seqMu[sh].Lock()
+	s.shardSeq[sh]++
+	it.seq = s.shardSeq[sh]
 	s.shardChs[sh] <- it
+	s.seqMu[sh].Unlock()
 	s.kick()
+	return sh, it.seq
+}
+
+// boundaryCtx returns the request's trace context, attached by the metrics
+// middleware at the HTTP boundary; handlers invoked without the middleware
+// (direct tests) get a fresh root.
+func (s *Server) boundaryCtx(r *http.Request) trace.Ctx {
+	if tc, ok := trace.FromContext(r.Context()); ok {
+		return tc
+	}
+	return s.tracer.Extract("", time.Now()) //tdh:wallclock trace timestamps are diagnostics; never fed into replayed state
+}
+
+// logEvery rate-limits a recurring log site to one line per period; last is
+// the site's own timestamp slot.
+//
+//tdh:wallclock log rate limiting is diagnostics only
+func (s *Server) logEvery(last *atomic.Int64, period time.Duration) bool {
+	now := time.Now().UnixNano()
+	prev := last.Load()
+	return now-prev >= period.Nanoseconds() && last.CompareAndSwap(prev, now)
+}
+
+// retryAfter turns a rejected request's queue depth into a Retry-After hint
+// using the pipeline's observed drain rate (EWMA ns per item), bounded to
+// [1, 30] seconds. Before the first measured cycle it answers the floor.
+func (s *Server) retryAfter(depth int64) int64 {
+	per := s.drainNsPerItem.Load()
+	if per <= 0 {
+		return 1
+	}
+	secs := (depth*per + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 // kick nudges the coordinator without blocking; kickCh has capacity 1, so
@@ -247,6 +337,15 @@ func New(cfg Config) (*Server, error) {
 		s.shardChs[i] = make(chan ingestItem, perShard)
 	}
 	s.shardDepth = make([]atomic.Int64, cfg.Policy.Shards)
+	s.seqMu = make([]sync.Mutex, cfg.Policy.Shards)
+	s.shardSeq = make([]int64, cfg.Policy.Shards)
+	s.shardFolded = make([]atomic.Int64, cfg.Policy.Shards)
+	s.startTime = time.Now() //tdh:wallclock uptime baseline for /stats; never fed into replayed state
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.tracer = trace.New(cfg.TraceCapacity, cfg.TraceSampleEvery)
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -259,7 +358,8 @@ func New(cfg Config) (*Server, error) {
 		sh := s.workers.shardFor(a.Worker)
 		sh.markAnswered(a.Worker, a.Object)
 	}
-	p := &pipeline{s: s, policy: cfg.Policy, work: cfg.Dataset.Clone()}
+	p := &pipeline{s: s, policy: cfg.Policy, work: cfg.Dataset.Clone(),
+		drainedSeq: make([]int64, cfg.Policy.Shards)}
 	p.fullRefit() // initial inference, published before New returns
 	go p.loop()
 	return s, nil
@@ -314,6 +414,11 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /stats", "/stats", s.handleStats)
 	handle("POST /refresh", "/refresh", s.handleRefresh)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	// The trace endpoints are deliberately not self-instrumented, like
+	// /metrics. /trace is the same handler at the path the campaign proxy
+	// strips to (GET /v1/campaigns/{id}/trace).
+	mux.Handle("GET /debug/trace", http.HandlerFunc(s.handleTrace))
+	mux.Handle("GET /trace", http.HandlerFunc(s.handleTrace))
 	return mux
 }
 
@@ -432,6 +537,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.ingestWG.Done()
+	tc := s.boundaryCtx(r)
 	snap := s.snap()
 	ov := snap.Idx.View(a.Object)
 	if ov == nil {
@@ -441,11 +547,19 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// Admission control: with RejectQueueDepth set, a saturated shard queue
 	// sheds load with a fast 429 instead of blocking the connection on the
 	// enqueue below. Checked before any reservation or log I/O so a
-	// rejected request does no work and rolls back nothing.
+	// rejected request does no work and rolls back nothing. Retry-After is
+	// derived from the pipeline's observed drain rate, not a constant.
 	if bound := s.cfg.Policy.RejectQueueDepth; bound > 0 {
-		if s.shardDepth[s.shardOf(a.Object)].Load() >= int64(bound) {
+		sh := s.shardOf(a.Object)
+		if depth := s.shardDepth[sh].Load(); depth >= int64(bound) {
 			s.metrics.ingestRejected.Inc()
-			w.Header().Set("Retry-After", "1")
+			retry := s.retryAfter(depth)
+			w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+			if s.logEvery(&s.lastRejectLog, logRepeatEvery) {
+				s.log.Warn("admission control rejected answer",
+					"trace_id", tc.TraceID.String(), "shard", sh,
+					"depth", depth, "retry_after_s", retry, "object", a.Object)
+			}
 			httpError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("ingest queue for object %q is saturated; retry later", a.Object))
 			return
@@ -487,6 +601,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			sh.mu.Lock()
 			sh.unmarkAnswered(a.Worker, a.Object, wasPending)
 			sh.mu.Unlock()
+			s.log.Error("answer log append failed",
+				"trace_id", tc.TraceID.String(), "worker", a.Worker,
+				"object", a.Object, "err", err)
 			httpError(w, http.StatusInternalServerError, "answer log: "+err.Error())
 			return
 		}
@@ -501,9 +618,19 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// Enqueue for the inference pipeline; a full shard queue applies
 	// backpressure. The pipeline keeps draining until Close has waited out
 	// every in-flight accept (beginIngest/ingestWG), so this send cannot
-	// block forever.
-	s.enqueue(a.Object, ingestItem{answer: a})
-	writeJSON(w, map[string]any{"accepted": true, "answers": n})
+	// block forever. The item carries its lineage: the accept timestamp the
+	// visibility histogram measures from and, for sampled requests, the
+	// span recorder (annotated before the send — ownership transfers to the
+	// coordinator with the channel handoff). The response echoes the trace
+	// id plus the item's (shard, seq) so a client can poll /stats until
+	// watermark[shard] >= seq to observe its answer become visible.
+	act := s.tracer.Start(tc, "answer")
+	act.Annotate(trace.Attr{Key: "object", Value: a.Object}, trace.Attr{Key: "worker", Value: a.Worker})
+	shard, seq := s.enqueue(a.Object, ingestItem{answer: a, at: tc.Start, tr: act})
+	writeJSON(w, map[string]any{
+		"accepted": true, "answers": n,
+		"trace_id": tc.TraceID.String(), "shard": shard, "seq": seq,
+	})
 }
 
 // AddObjectRequest is the POST /objects body: a new object with its seeded
@@ -560,9 +687,13 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	s.addedObjects[req.Object]++
 	s.mutMu.Unlock()
 
+	tc := s.boundaryCtx(r)
 	if s.cfg.Mutations != nil {
 		if err := s.cfg.Mutations.AppendAddObject(req.Object, cands); err != nil {
 			s.releaseObjectRef(req.Object)
+			s.log.Error("event log append failed",
+				"trace_id", tc.TraceID.String(), "kind", "add_object",
+				"object", req.Object, "err", err)
 			httpError(w, http.StatusInternalServerError, "event log: "+err.Error())
 			return
 		}
@@ -572,8 +703,14 @@ func (s *Server) handleAddObject(w http.ResponseWriter, r *http.Request) {
 	n := s.objectCount
 	s.mutMu.Unlock()
 	s.metrics.mutationsAccepted.Inc()
-	s.enqueue(req.Object, ingestItem{mut: &mutation{object: req.Object, candidates: cands}})
-	writeJSON(w, map[string]any{"accepted": true, "object": req.Object, "added_objects": n})
+	act := s.tracer.Start(tc, "add_object")
+	act.Annotate(trace.Attr{Key: "object", Value: req.Object})
+	shard, seq := s.enqueue(req.Object, ingestItem{
+		mut: &mutation{object: req.Object, candidates: cands}, at: tc.Start, tr: act})
+	writeJSON(w, map[string]any{
+		"accepted": true, "object": req.Object, "added_objects": n,
+		"trace_id": tc.TraceID.String(), "shard": shard, "seq": seq,
+	})
 }
 
 // handleAddRecord ingests a new source record. The object may be known or
@@ -624,12 +761,16 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	s.addedObjects[rec.Object]++
 	s.mutMu.Unlock()
 
+	tc := s.boundaryCtx(r)
 	if s.cfg.Mutations != nil {
 		if err := s.cfg.Mutations.AppendAddRecord(rec); err != nil {
 			s.mutMu.Lock()
 			delete(s.addedClaims, key)
 			s.mutMu.Unlock()
 			s.releaseObjectRef(rec.Object)
+			s.log.Error("event log append failed",
+				"trace_id", tc.TraceID.String(), "kind", "add_record",
+				"object", rec.Object, "source", rec.Source, "err", err)
 			httpError(w, http.StatusInternalServerError, "event log: "+err.Error())
 			return
 		}
@@ -639,8 +780,14 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	n := s.recordCount
 	s.mutMu.Unlock()
 	s.metrics.mutationsAccepted.Inc()
-	s.enqueue(rec.Object, ingestItem{mut: &mutation{object: rec.Object, record: &rec}})
-	writeJSON(w, map[string]any{"accepted": true, "object": rec.Object, "added_records": n})
+	act := s.tracer.Start(tc, "add_record")
+	act.Annotate(trace.Attr{Key: "object", Value: rec.Object}, trace.Attr{Key: "source", Value: rec.Source})
+	shard, seq := s.enqueue(rec.Object, ingestItem{
+		mut: &mutation{object: rec.Object, record: &rec}, at: tc.Start, tr: act})
+	writeJSON(w, map[string]any{
+		"accepted": true, "object": rec.Object, "added_records": n,
+		"trace_id": tc.TraceID.String(), "shard": shard, "seq": seq,
+	})
 }
 
 // releaseObjectRef drops one accepted-creator reference on an object name
@@ -746,6 +893,19 @@ type Stats struct {
 	PlanBuilds      int64 `json:"plan_builds"`
 	PlanAdvances    int64 `json:"plan_advances"`
 	PlanFallbacks   int64 `json:"plan_fallbacks"`
+	// Visibility lineage, the operator's stalled-pipeline view without
+	// scraping /metrics: UptimeSeconds since this server instance booted;
+	// Watermarks is the served snapshot's per-shard visibility watermark
+	// (max folded ingest seq — an item (shard, seq) is visible once
+	// Watermarks[shard] >= seq); FoldedSeq is the live folded seq per shard
+	// (may lead Watermarks between a fold and its snapshot load);
+	// LastPublishUnixMS is when the served snapshot was published. A
+	// nonzero ShardQueueDepth with FoldedSeq unchanged across polls is a
+	// stalled pipeline.
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Watermarks        []int64 `json:"watermark"`
+	FoldedSeq         []int64 `json:"folded_seq"`
+	LastPublishUnixMS int64   `json:"last_publish_unix_ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -797,8 +957,15 @@ func (s *Server) stats() Stats {
 	for i := range s.shardDepth {
 		st.ShardQueueDepth[i] = int(s.shardDepth[i].Load())
 	}
+	st.UptimeSeconds = time.Since(s.startTime).Seconds() //tdh:wallclock diagnostics gauge in /stats
+	st.Watermarks = append([]int64{}, snap.Watermarks...)
+	st.FoldedSeq = make([]int64, len(s.shardFolded))
+	for i := range s.shardFolded {
+		st.FoldedSeq[i] = s.shardFolded[i].Load()
+	}
 	if !snap.PublishedAt.IsZero() {
 		st.SnapshotAgeMS = time.Since(snap.PublishedAt).Milliseconds() //tdh:wallclock diagnostics gauge in /stats
+		st.LastPublishUnixMS = snap.PublishedAt.UnixMilli()
 	}
 	if st.HasGold {
 		st.Quality = snap.St.Quality(base, snap.Idx)
